@@ -1,0 +1,513 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   and runs the ablation studies DESIGN.md calls out, plus bechamel
+   micro-benchmarks of the flow's building blocks.
+
+     dune exec bench/main.exe              # everything (several minutes)
+     SCANPOWER_BENCH_FAST=1 dune exec bench/main.exe   # small circuits only
+
+   Sections:
+     [Figure 2]   calibrated NAND2 leakage table vs the published one
+     [Table I]    dynamic (/f) + static scan power, 3 structures,
+                  12 circuits, vs the published rows
+     [Ablations]  (a) leakage-observability direction on/off
+                  (b) AddMUX naive re-STA vs slack test
+                  (c) gate input reordering contribution
+                  (d) IVC candidate-count sweep
+     [Micro]      bechamel timings of the core kernels *)
+
+let fast = Sys.getenv_opt "SCANPOWER_BENCH_FAST" <> None
+
+let section name = Format.printf "@.=== %s ===@." name
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  section "Figure 2: NAND2 leakage per input state (45 nm, 0.9 V)";
+  let cell = Techlib.Cell.Nand 2 in
+  Format.printf "state | measured (nA) | paper (nA)@.";
+  for s = 0 to 3 do
+    Format.printf "  %s  | %13.1f | %10.1f@."
+      (Techlib.Leakage_table.string_of_state cell s)
+      (Techlib.Leakage_table.leakage_na cell ~state:s)
+      Techlib.Leakage_table.paper_nand2_na.(s)
+  done;
+  Format.printf "raw (uncalibrated) model: ";
+  for s = 0 to 3 do
+    Format.printf "%s=%.1f "
+      (Techlib.Leakage_table.string_of_state cell s)
+      (Techlib.Leakage_table.raw_leakage_na cell ~state:s)
+  done;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1_circuits =
+  if fast then [ "s344"; "s382"; "s444"; "s510" ]
+  else
+    [ "s344"; "s382"; "s444"; "s510"; "s641"; "s713"; "s1196"; "s1238";
+      "s1423"; "s1494"; "s5378"; "s9234" ]
+
+let table1 () =
+  section "Table I: scan power, traditional vs input control [8] vs proposed";
+  let rows =
+    List.map
+      (fun name ->
+        let t0 = Unix.gettimeofday () in
+        let cmp = Scanpower.Flow.run_benchmark (Circuits.by_name name) in
+        Format.printf "%-7s done in %5.1fs (%d vectors, %d/%d cells muxed)@."
+          name
+          (Unix.gettimeofday () -. t0)
+          cmp.Scanpower.Flow.n_vectors cmp.Scanpower.Flow.n_muxable
+          cmp.Scanpower.Flow.n_dffs;
+        Format.pp_print_flush Format.std_formatter ();
+        Scanpower.Report.of_comparison cmp)
+      table1_circuits
+  in
+  Format.printf "@.measured:@.";
+  Scanpower.Report.pp_table Format.std_formatter rows;
+  Format.printf "@.paper:@.";
+  Scanpower.Report.pp_table Format.std_formatter
+    (List.filter_map Scanpower.Report.paper_row table1_circuits);
+  (* shape check: the qualitative claims of the paper *)
+  let static_wins =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Scanpower.Report.prop_static < r.Scanpower.Report.trad_static
+           && r.Scanpower.Report.prop_static < r.Scanpower.Report.ic_static)
+         rows)
+  in
+  let dyn_wins =
+    List.length
+      (List.filter
+         (fun r -> r.Scanpower.Report.prop_dyn < r.Scanpower.Report.trad_dyn)
+         rows)
+  in
+  Format.printf
+    "@.shape: proposed beats both baselines on static power in %d/%d circuits; \
+     beats traditional scan on dynamic power in %d/%d.@."
+    static_wins (List.length rows) dyn_wins (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_circuits =
+  if fast then [ "s344"; "s382" ] else [ "s344"; "s382"; "s444"; "s1196" ]
+
+(* Measure scan static power for the proposed structure built with a
+   given pattern-search direction. *)
+let proposed_static ~direction ~reorder name =
+  let c = Techmap.Mapper.map (Circuits.by_name name) in
+  let chain = Scan.Scan_chain.natural c in
+  let vectors = Atpg.Pattern_gen.random_vectors ~seed:3 ~count:50 c in
+  let mux = Scanpower.Mux_insertion.select c in
+  let cp =
+    Scanpower.Controlled_pattern.find ~direction c
+      ~muxable:mux.Scanpower.Mux_insertion.muxable
+  in
+  let filled =
+    Scanpower.Ivc.fill ~seed:11 c ~values:cp.Scanpower.Controlled_pattern.values
+      ~controlled:cp.Scanpower.Controlled_pattern.controlled
+  in
+  let concrete id =
+    match filled.Scanpower.Ivc.values.(id) with
+    | Netlist.Logic.One -> true
+    | Netlist.Logic.Zero | Netlist.Logic.X -> false
+  in
+  let policy =
+    {
+      Scan.Scan_sim.pi_during_shift =
+        Some (Array.map concrete (Netlist.Circuit.inputs c));
+      forced_pseudo =
+        List.map (fun id -> (id, concrete id)) mux.Scanpower.Mux_insertion.muxable;
+      hold_previous_capture = false;
+    }
+  in
+  let c, permuted =
+    if reorder then begin
+      let c' = Netlist.Circuit.copy c in
+      let ro =
+        Scanpower.Input_reorder.optimize c' ~values:filled.Scanpower.Ivc.values
+      in
+      (c', ro.Scanpower.Input_reorder.gates_reordered)
+    end
+    else (c, 0)
+  in
+  ((Scan.Scan_sim.measure c chain policy ~vectors).Scan.Scan_sim.avg_static_uw,
+   permuted)
+
+(* (a) does directing the search by leakage observability buy leakage? *)
+let ablation_direction () =
+  section
+    "Ablation (a): leakage-observability direction in FindControlledInputPattern";
+  Format.printf "%-8s | %12s | %12s | %s@." "circuit" "directed uW"
+    "undirected uW" "gain";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let directed, _ =
+        proposed_static
+          ~direction:
+            (Scanpower.Justify.Leakage_directed (Power.Observability.compute c))
+          ~reorder:false name
+      in
+      let undirected, _ =
+        proposed_static ~direction:Scanpower.Justify.Structural ~reorder:false
+          name
+      in
+      Format.printf "%-8s | %12.2f | %12.2f | %+.2f%%@." name directed
+        undirected
+        (Scanpower.Flow.improvement undirected directed))
+    ablation_circuits
+
+(* (b) AddMUX: one timing analysis + slack test vs per-candidate re-STA *)
+let ablation_addmux () =
+  section "Ablation (b): AddMUX slack test vs naive re-analysis";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let naive, t_naive =
+        time (fun () ->
+            Scanpower.Mux_insertion.select
+              ~strategy:Scanpower.Mux_insertion.Naive c)
+      in
+      let slack, t_slack =
+        time (fun () ->
+            Scanpower.Mux_insertion.select
+              ~strategy:Scanpower.Mux_insertion.Slack_based c)
+      in
+      let agree =
+        List.sort compare naive.Scanpower.Mux_insertion.muxable
+        = List.sort compare slack.Scanpower.Mux_insertion.muxable
+      in
+      Format.printf "%-8s naive %.4fs, slack %.4fs (%.0fx), identical: %b@."
+        name t_naive t_slack
+        (t_naive /. Float.max 1e-9 t_slack)
+        agree)
+    ablation_circuits
+
+(* (c) what does gate input reordering contribute on top of the vector? *)
+let ablation_reorder () =
+  section "Ablation (c): gate input reordering contribution";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let direction =
+        Scanpower.Justify.Leakage_directed (Power.Observability.compute c)
+      in
+      let without, _ = proposed_static ~direction ~reorder:false name in
+      let with_, permuted = proposed_static ~direction ~reorder:true name in
+      Format.printf
+        "%-8s without %.2f uW, with %.2f uW (%d gates permuted): %+.2f%%@."
+        name without with_ permuted
+        (Scanpower.Flow.improvement without with_))
+    ablation_circuits
+
+(* (d) IVC sample count: diminishing returns of random completions *)
+let ablation_ivc () =
+  section "Ablation (d): IVC candidate-count sweep (expected scan leakage, uW)";
+  let name = "s344" in
+  let c = Techmap.Mapper.map (Circuits.by_name name) in
+  let mux = Scanpower.Mux_insertion.select c in
+  let cp =
+    Scanpower.Controlled_pattern.find
+      ~direction:
+        (Scanpower.Justify.Leakage_directed (Power.Observability.compute c))
+      c ~muxable:mux.Scanpower.Mux_insertion.muxable
+  in
+  Format.printf "%s:" name;
+  List.iter
+    (fun candidates ->
+      let filled =
+        Scanpower.Ivc.fill ~candidates ~seed:11 c
+          ~values:cp.Scanpower.Controlled_pattern.values
+          ~controlled:cp.Scanpower.Controlled_pattern.controlled
+      in
+      Format.printf " %d->%.3f" candidates
+        filled.Scanpower.Ivc.expected_leakage_uw)
+    [ 1; 4; 8; 16; 32; 64; 128 ];
+  Format.printf "@."
+
+(* (e) the paper's closing remark: vector and scan-cell reordering give
+   further improvements on top of the proposed structure *)
+let ablation_reordering_ext () =
+  section
+    "Ablation (e): test-vector / scan-cell reordering on top (paper Section 5)";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let vectors = Atpg.Pattern_gen.random_vectors ~seed:3 ~count:50 c in
+      let natural = Scan.Scan_chain.natural c in
+      let base =
+        Scan.Scan_sim.measure c natural Scan.Scan_sim.traditional ~vectors
+      in
+      let v' = Scanpower.Reordering.reorder_vectors vectors in
+      let with_vectors =
+        Scan.Scan_sim.measure c natural Scan.Scan_sim.traditional ~vectors:v'
+      in
+      let chain' = Scanpower.Reordering.reorder_chain c vectors in
+      let with_both =
+        Scan.Scan_sim.measure c chain' Scan.Scan_sim.traditional ~vectors:v'
+      in
+      let dyn (m : Scan.Scan_sim.result) =
+        m.Scan.Scan_sim.dynamic.Power.Switching.dynamic_per_hz_uw
+      in
+      Format.printf
+        "%-8s dyn/f: natural %.3e | +vector reorder %.3e (%+.1f%%) | +chain reorder %.3e (%+.1f%%)@."
+        name (dyn base) (dyn with_vectors)
+        (Scanpower.Flow.improvement (dyn base) (dyn with_vectors))
+        (dyn with_both)
+        (Scanpower.Flow.improvement (dyn base) (dyn with_both)))
+    ablation_circuits
+
+(* (f) glitch factor: how much does the zero-delay Eq. (1) figure
+   under-count once gate delays and hazards are modelled? *)
+let ablation_glitch () =
+  section "Ablation (f): transport-delay glitch factor on scan shift activity";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let timing = Sta.analyze c in
+      let gsim = Sta.Glitch_sim.create timing in
+      let esim = Sim.Event_sim.create c in
+      Sta.Glitch_sim.init gsim (fun _ -> false);
+      Sim.Event_sim.init esim (fun _ -> false);
+      let rng = Util.Rng.create 23 in
+      let current = Array.make (Netlist.Circuit.node_count c) false in
+      for _ = 1 to 200 do
+        let changes = ref [] in
+        Array.iter
+          (fun id ->
+            if Util.Rng.bool rng then begin
+              current.(id) <- not current.(id);
+              changes := (id, current.(id)) :: !changes
+            end)
+          (Netlist.Circuit.sources c);
+        ignore (Sta.Glitch_sim.apply gsim !changes);
+        ignore (Sim.Event_sim.set_sources esim !changes)
+      done;
+      let glitchy = Sta.Glitch_sim.total_transitions gsim in
+      let settled = Sim.Event_sim.total_toggles esim in
+      Format.printf "%-8s settled %7d | with glitches %7d | factor %.2fx@."
+        name settled glitchy
+        (float_of_int glitchy /. float_of_int (max 1 settled)))
+    ablation_circuits
+
+(* (g) exact (BDD) vs analytic signal probabilities: the error of the
+   independence assumption inside the leakage-observability engine *)
+let ablation_exact_probabilities () =
+  section "Ablation (g): independence assumption vs exact BDD probabilities";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      match Bdd.Circuit_bdd.build ~node_budget:3_000_000 c with
+      | exception Bdd.Circuit_bdd.Too_large ->
+        Format.printf "%-8s BDD blow-up (skipped)@." name
+      | sym ->
+        let exact = Bdd.Circuit_bdd.probabilities sym () in
+        let approx = Power.Observability.compute c in
+        let worst = ref 0.0 and sum = ref 0.0 and n = ref 0 in
+        Array.iter
+          (fun nd ->
+            if Netlist.Gate.is_logic nd.Netlist.Circuit.kind then begin
+              let err =
+                Float.abs
+                  (exact.(nd.Netlist.Circuit.id)
+                  -. Power.Observability.probability approx nd.Netlist.Circuit.id)
+              in
+              worst := Float.max !worst err;
+              sum := !sum +. err;
+              incr n
+            end)
+          (Netlist.Circuit.nodes c);
+        let exact_leak = Bdd.Circuit_bdd.exact_expected_leakage_uw sym () in
+        let p_one =
+          Array.init (Netlist.Circuit.node_count c) (fun id ->
+              Power.Observability.probability approx id)
+        in
+        let approx_leak = Power.Leakage.expected_total_leakage_uw c ~p_one in
+        Format.printf
+          "%-8s prob error: mean %.4f worst %.4f | E[leakage]: exact %.2f vs analytic %.2f uW (%.1f%% off)@."
+          name
+          (!sum /. float_of_int (max 1 !n))
+          !worst exact_leak approx_leak
+          (100.0 *. Float.abs (exact_leak -. approx_leak) /. exact_leak))
+    (if fast then [ "s27"; "s344" ] else [ "s27"; "s344"; "s382"; "s444" ])
+
+(* (h) multiple scan chains: shift time vs per-cycle activity *)
+let ablation_multi_chain () =
+  section "Ablation (h): multi-chain trade-off (traditional scan, s382)";
+  let c = Techmap.Mapper.map (Circuits.by_name "s382") in
+  let vectors = Atpg.Pattern_gen.random_vectors ~seed:3 ~count:50 c in
+  List.iter
+    (fun k ->
+      let mc = Scan.Multi_chain.partition c ~chains:k in
+      let m = Scan.Multi_chain.measure mc ~policy:Scan.Scan_sim.traditional ~vectors in
+      Format.printf
+        "%2d chains: %5d cycles, %7d toggles, dyn/f %.3e uW/Hz, peak static %.2f uW@."
+        k m.Scan.Multi_chain.cycles m.Scan.Multi_chain.total_toggles
+        m.Scan.Multi_chain.dynamic_per_hz_uw m.Scan.Multi_chain.peak_static_uw)
+    [ 1; 2; 4; 7; 21 ]
+
+(* (i) ATPG engines: plain PODEM vs SCOAP-guided PODEM vs D-algorithm *)
+let ablation_atpg_engines () =
+  section "Ablation (i): ATPG engines on the collapsed fault list";
+  List.iter
+    (fun name ->
+      let c = Techmap.Mapper.map (Circuits.by_name name) in
+      let faults = Atpg.Fault.collapsed_faults c in
+      let guide = Atpg.Scoap.compute c in
+      let tally run =
+        let t0 = Unix.gettimeofday () in
+        let t = ref 0 and u = ref 0 and a = ref 0 in
+        List.iter
+          (fun f ->
+            match run f with
+            | `T -> incr t
+            | `U -> incr u
+            | `A -> incr a)
+          faults;
+        (!t, !u, !a, Unix.gettimeofday () -. t0)
+      in
+      let podem_tag = function
+        | Atpg.Podem.Test _ -> `T
+        | Atpg.Podem.Untestable -> `U
+        | Atpg.Podem.Aborted -> `A
+      in
+      let dalg_tag = function
+        | Atpg.D_algorithm.Test _ -> `T
+        | Atpg.D_algorithm.Untestable -> `U
+        | Atpg.D_algorithm.Aborted -> `A
+      in
+      let show tag (t, u, a, secs) =
+        Format.printf "  %-14s test %4d | untestable %3d | aborted %3d | %.2fs@."
+          tag t u a secs
+      in
+      Format.printf "%s (%d faults):@." name (List.length faults);
+      show "podem" (tally (fun f -> podem_tag (Atpg.Podem.generate c f)));
+      show "podem+scoap"
+        (tally (fun f -> podem_tag (Atpg.Podem.generate ~guide c f)));
+      show "d-algorithm"
+        (tally (fun f -> dalg_tag (Atpg.D_algorithm.generate c f))))
+    (if fast then [ "s344" ] else [ "s344"; "s382" ])
+
+(* ------------------------------------------------------------------ *)
+(* bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let s27 = Techmap.Mapper.map (Circuits.s27 ()) in
+  let s344 = Circuits.by_name "s344" (* generated pre-mapped *) in
+  let s344_timing = Sta.analyze s344 in
+  let s27_vectors = Atpg.Pattern_gen.random_vectors ~seed:1 ~count:20 s27 in
+  let s27_chain = Scan.Scan_chain.natural s27 in
+  let some_gate =
+    let nodes = Netlist.Circuit.nodes s344 in
+    let rec pick i =
+      if Netlist.Gate.is_logic nodes.(i).Netlist.Circuit.kind then i
+      else pick (i + 1)
+    in
+    pick (Netlist.Circuit.node_count s344 / 2)
+  in
+  let fault =
+    { Atpg.Fault.site = Atpg.Fault.Output_line some_gate; stuck = true }
+  in
+  let obs344 = Power.Observability.compute s344 in
+  let tests =
+    [
+      (* Table I building blocks *)
+      Test.make ~name:"table1/scan-sim-s27"
+        (Staged.stage (fun () ->
+             Scan.Scan_sim.measure s27 s27_chain Scan.Scan_sim.traditional
+               ~vectors:s27_vectors));
+      Test.make ~name:"table1/podem-one-fault-s344"
+        (Staged.stage (fun () -> Atpg.Podem.generate s344 fault));
+      Test.make ~name:"table1/controlled-pattern-s344"
+        (Staged.stage (fun () ->
+             Scanpower.Controlled_pattern.find
+               ~direction:(Scanpower.Justify.Leakage_directed obs344)
+               s344
+               ~muxable:(Array.to_list (Netlist.Circuit.dffs s344))));
+      (* Figure 2 building block *)
+      Test.make ~name:"figure2/leakage-tables"
+        (Staged.stage (fun () ->
+             List.map
+               (fun cell ->
+                 Techlib.Leakage_table.leakage_na cell
+                   ~state:(Techlib.Leakage_table.n_states cell - 1))
+               Techlib.Cell.all));
+      (* ablation (b) kernels *)
+      Test.make ~name:"addmux/naive-s344"
+        (Staged.stage (fun () ->
+             Scanpower.Mux_insertion.select
+               ~strategy:Scanpower.Mux_insertion.Naive s344));
+      Test.make ~name:"addmux/slack-s344"
+        (Staged.stage (fun () ->
+             Scanpower.Mux_insertion.select
+               ~strategy:Scanpower.Mux_insertion.Slack_based s344));
+      Test.make ~name:"substrate/sta-s344"
+        (Staged.stage (fun () -> Sta.analyze s344));
+      Test.make ~name:"substrate/observability-s344"
+        (Staged.stage (fun () -> Power.Observability.compute s344));
+      Test.make ~name:"substrate/slack-query"
+        (Staged.stage (fun () ->
+             Sta.fits_without_slowdown s344_timing
+               ~source:(Netlist.Circuit.dffs s344).(0)
+               ~penalty:24.0));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"scanpower" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ x ] -> x
+          | Some _ | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let print_row (name, ns) =
+    if ns > 1e6 then Format.printf "  %-38s %10.3f ms/run@." name (ns /. 1e6)
+    else Format.printf "  %-38s %10.1f ns/run@." name ns
+  in
+  List.iter print_row rows
+
+let () =
+  Format.printf "scanpower bench harness%s@."
+    (if fast then " (fast mode: small circuits only)" else "");
+  figure2 ();
+  table1 ();
+  ablation_direction ();
+  ablation_addmux ();
+  ablation_reorder ();
+  ablation_ivc ();
+  ablation_reordering_ext ();
+  ablation_glitch ();
+  ablation_exact_probabilities ();
+  ablation_multi_chain ();
+  ablation_atpg_engines ();
+  micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,289 @@
+(* Command-line front end.
+
+   Circuits are named either by a built-in benchmark name (see
+   [scanpower list]) or by a path to an ISCAS89 .bench file. *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if List.mem spec Circuits.names then Circuits.by_name spec
+  else if Sys.file_exists spec then Netlist.Bench_parser.parse_file spec
+  else
+    failwith
+      (Printf.sprintf
+         "unknown circuit %S (not a built-in benchmark, not a file)" spec)
+
+let mapped spec =
+  let c = load_circuit spec in
+  if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c
+
+let circuit_arg =
+  let doc = "Benchmark name (e.g. s344) or path to a .bench file." in
+  Arg.(value & pos 0 string "s27" & info [] ~docv:"CIRCUIT" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for every stochastic component." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let c = Circuits.by_name name in
+        Format.printf "%-8s %a@." name Netlist.Circuit.pp_stats
+          (Netlist.Circuit.stats c))
+      Circuits.names
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark circuits.")
+    Term.(const run $ const ())
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    Format.printf "%s: %a@." (Netlist.Circuit.name c) Netlist.Circuit.pp_stats
+      (Netlist.Circuit.stats c);
+    let m = if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c in
+    if not (Techmap.Mapper.is_mapped c) then
+      Format.printf "mapped:  %a@." Netlist.Circuit.pp_stats
+        (Netlist.Circuit.stats m);
+    let t = Sta.analyze m in
+    Format.printf "critical path delay: %.1f ps@." (Sta.critical_delay t);
+    let mux = Scanpower.Mux_insertion.select m in
+    Format.printf "AddMUX: %d of %d scan cells accept a multiplexer@."
+      (Scanpower.Mux_insertion.muxable_count mux)
+      (Array.length (Netlist.Circuit.dffs m))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Circuit statistics, critical path and AddMUX feasibility.")
+    Term.(const run $ circuit_arg)
+
+(* ---- figure2 ---- *)
+
+let figure2_cmd =
+  let run () =
+    Format.printf
+      "Figure 2 reproduction: NAND2 leakage per input state (45 nm, 0.9 V)@.";
+    Format.printf "%a" Techlib.Leakage_table.pp_table (Techlib.Cell.Nand 2);
+    Format.printf "paper: 00=78, 01=73, 10=264, 11=408 nA@.@.";
+    Format.printf "full calibrated library:@.";
+    List.iter
+      (fun cell -> Format.printf "%a" Techlib.Leakage_table.pp_table cell)
+      Techlib.Cell.all
+  in
+  Cmd.v
+    (Cmd.info "figure2"
+       ~doc:"Print the calibrated leakage tables (reproduces Figure 2).")
+    Term.(const run $ const ())
+
+(* ---- observability ---- *)
+
+let observability_cmd =
+  let run spec count =
+    let c = mapped spec in
+    let obs = Power.Observability.compute c in
+    let scored =
+      Array.to_list (Netlist.Circuit.nodes c)
+      |> List.filter (fun nd ->
+             not (Netlist.Gate.equal_kind nd.Netlist.Circuit.kind Netlist.Gate.Output))
+      |> List.map (fun nd ->
+             ( nd.Netlist.Circuit.name,
+               Power.Observability.observability_na obs nd.Netlist.Circuit.id ))
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    Format.printf "top-%d leakage-observable lines of %s:@." count spec;
+    List.iter (fun (nm, v) -> Format.printf "  %-14s %+9.1f nA@." nm v) (take count scored)
+  in
+  let count =
+    Arg.(value & opt int 10 & info [ "n"; "count" ] ~doc:"Lines to print.")
+  in
+  Cmd.v
+    (Cmd.info "observability"
+       ~doc:"Rank circuit lines by leakage observability (Eq. (6)).")
+    Term.(const run $ circuit_arg $ count)
+
+(* ---- atpg ---- *)
+
+let atpg_cmd =
+  let run spec seed out =
+    let c = mapped spec in
+    let config = { Atpg.Pattern_gen.default_config with seed } in
+    let outcome = Atpg.Pattern_gen.generate ~config c in
+    Format.printf "%a@." Atpg.Pattern_gen.pp_outcome outcome;
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun v ->
+          Array.iter (fun b -> output_char oc (if b then '1' else '0')) v;
+          output_char oc '\n')
+        outcome.Atpg.Pattern_gen.vectors;
+      close_out oc;
+      Format.printf "vectors written to %s (PIs then scan cells per line)@." path
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the test vectors to a file.")
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Generate a compacted stuck-at test set (PODEM).")
+    Term.(const run $ circuit_arg $ seed_arg $ out)
+
+(* ---- power ---- *)
+
+let power_cmd =
+  let run spec seed =
+    let c = load_circuit spec in
+    let cmp = Scanpower.Flow.run_benchmark ~seed c in
+    Format.printf
+      "%s: %d vectors, %d/%d cells muxed, %d gates blocked, %d reordered@."
+      cmp.Scanpower.Flow.name cmp.Scanpower.Flow.n_vectors
+      cmp.Scanpower.Flow.n_muxable cmp.Scanpower.Flow.n_dffs
+      cmp.Scanpower.Flow.blocked_gates cmp.Scanpower.Flow.reordered_gates;
+    Scanpower.Report.pp_vs_paper Format.std_formatter
+      (Scanpower.Report.of_comparison cmp);
+    let enh = cmp.Scanpower.Flow.enhanced_scan in
+    Format.printf
+      "enhanced-scan reference: dyn/f %.3e uW/Hz, static %.2f uW (full        isolation, but a hold latch per cell and a functional speed penalty)@."
+      enh.Scanpower.Flow.dynamic_per_hz_uw enh.Scanpower.Flow.static_uw
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:
+         "Full flow on one circuit: scan power of traditional, \
+          input-control and the proposed structure.")
+    Term.(const run $ circuit_arg $ seed_arg)
+
+(* ---- paths ---- *)
+
+let paths_cmd =
+  let run spec count =
+    let c = mapped spec in
+    let t = Sta.analyze c in
+    Sta.Path_report.pp_report ~count c Format.std_formatter t
+  in
+  let count =
+    Arg.(value & opt int 5 & info [ "n"; "count" ] ~doc:"Paths to report.")
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Timing report: top critical paths and slack histogram.")
+    Term.(const run $ circuit_arg $ count)
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let run spec fmt out =
+    let c = load_circuit spec in
+    let text =
+      match fmt with
+      | "dot" ->
+        let m = if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c in
+        let t = Sta.analyze m in
+        Netlist.Dot_writer.to_string ~highlight:(Sta.critical_path t) m
+      | "verilog" -> Netlist.Verilog_writer.to_string c
+      | "bench" -> Netlist.Bench_writer.to_string c
+      | other -> failwith (Printf.sprintf "unknown format %S" other)
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "written to %s@." path
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("dot", "dot"); ("verilog", "verilog"); ("bench", "bench") ]) "dot"
+      & info [ "f"; "format" ]
+          ~doc:"Output format: dot (critical path highlighted), verilog, bench.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the netlist (Graphviz / Verilog / .bench).")
+    Term.(const run $ circuit_arg $ fmt $ out)
+
+(* ---- peak ---- *)
+
+let peak_cmd =
+  let run spec seed window =
+    let c = mapped spec in
+    let chain = Scan.Scan_chain.natural c in
+    let vectors = Atpg.Pattern_gen.random_vectors ~seed ~count:50 c in
+    List.iter
+      (fun (tag, policy) ->
+        let m = Scan.Scan_sim.measure c chain policy ~vectors in
+        let p =
+          Power.Peak.of_toggle_series ~window m.Scan.Scan_sim.per_cycle_toggles
+        in
+        Format.printf "%-12s %a | peak static %.2f uW@." tag Power.Peak.pp p
+          m.Scan.Scan_sim.peak_static_uw)
+      [
+        ("traditional", Scan.Scan_sim.traditional);
+        ("enhanced", Scan.Scan_sim.enhanced_scan);
+      ]
+  in
+  let window =
+    Arg.(value & opt int 16 & info [ "window" ] ~doc:"Thermal window, cycles.")
+  in
+  Cmd.v
+    (Cmd.info "peak"
+       ~doc:"Per-cycle activity profile and peak power during scan.")
+    Term.(const run $ circuit_arg $ seed_arg $ window)
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let run names seed =
+    let names = if names = [] then [ "s344"; "s382"; "s444"; "s510" ] else names in
+    let rows =
+      List.map
+        (fun name ->
+          let cmp = Scanpower.Flow.run_benchmark ~seed (load_circuit name) in
+          Scanpower.Report.of_comparison cmp)
+        names
+    in
+    Format.printf "measured:@.";
+    Scanpower.Report.pp_table Format.std_formatter rows;
+    Format.printf "@.paper (Table I):@.";
+    Scanpower.Report.pp_table Format.std_formatter
+      (List.filter_map Scanpower.Report.paper_row names)
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CIRCUIT"
+          ~doc:"Circuits to include (default: the four smallest).")
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce rows of the paper's Table I.")
+    Term.(const run $ names $ seed_arg)
+
+let main_cmd =
+  let doc =
+    "Simultaneous reduction of dynamic and static power in scan structures \
+     (DATE 2005 reproduction)."
+  in
+  Cmd.group
+    (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
+    [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
+      paths_cmd; export_cmd; peak_cmd; table1_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

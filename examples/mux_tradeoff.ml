@@ -1,0 +1,71 @@
+(* AddMUX trade-off study: how many scan cells can take a blocking
+   multiplexer as the mux gets slower, what that costs in area, and
+   that the slack-based selection matches the paper's naive
+   re-analysis.
+
+     dune exec examples/mux_tradeoff.exe -- [circuit]
+*)
+
+open Netlist
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s641" in
+  let circuit = Techmap.Mapper.map (Circuits.by_name name) in
+  let timing = Sta.analyze circuit in
+  let n_ff = Array.length (Circuit.dffs circuit) in
+  Format.printf "== %s: critical path %.1f ps, %d scan cells@." name
+    (Sta.critical_delay timing) n_ff;
+  let path = Sta.critical_path timing in
+  Format.printf "critical path (%d stages): %s@.@." (List.length path)
+    (String.concat " -> "
+       (List.map (fun id -> (Circuit.node circuit id).Circuit.name) path));
+
+  Format.printf "mux penalty sweep (slack test, one timing analysis total):@.";
+  List.iter
+    (fun penalty ->
+      let muxable =
+        Array.to_list (Circuit.dffs circuit)
+        |> List.filter (fun dff ->
+               Sta.fits_without_slowdown timing ~source:dff ~penalty)
+      in
+      Format.printf "  penalty %5.1f ps -> %3d/%d cells muxable (area +%.1f um^2)@."
+        penalty (List.length muxable) n_ff
+        (float_of_int (List.length muxable) *. Techlib.Cell.mux2_area))
+    [ 5.0; 10.0; 20.0; Techlib.Cell.mux2_delay_penalty; 40.0; 80.0; 160.0 ];
+
+  (* cross-check the library default against the naive per-candidate
+     re-analysis the paper describes *)
+  let naive =
+    Scanpower.Mux_insertion.select ~strategy:Scanpower.Mux_insertion.Naive circuit
+  in
+  let slack =
+    Scanpower.Mux_insertion.select ~strategy:Scanpower.Mux_insertion.Slack_based
+      circuit
+  in
+  Format.printf
+    "@.AddMUX at the default %.1f ps penalty: naive re-STA %d muxable, slack-based %d muxable, agree: %b@."
+    Techlib.Cell.mux2_delay_penalty
+    (Scanpower.Mux_insertion.muxable_count naive)
+    (Scanpower.Mux_insertion.muxable_count slack)
+    (List.sort compare naive.Scanpower.Mux_insertion.muxable
+    = List.sort compare slack.Scanpower.Mux_insertion.muxable);
+
+  (* what the muxes buy: dynamic power with/without the muxed cells *)
+  let chain = Scan.Scan_chain.natural circuit in
+  let vectors = Atpg.Pattern_gen.random_vectors ~seed:5 ~count:50 circuit in
+  let trad = Scan.Scan_sim.measure circuit chain Scan.Scan_sim.traditional ~vectors in
+  let forced =
+    List.map (fun id -> (id, false)) slack.Scanpower.Mux_insertion.muxable
+  in
+  let muxed =
+    Scan.Scan_sim.measure circuit chain
+      { Scan.Scan_sim.pi_during_shift = None; forced_pseudo = forced; hold_previous_capture = false }
+      ~vectors
+  in
+  Format.printf
+    "with all %d muxes pinned low during shift: %d toggles vs %d traditional (%.1f%% fewer)@."
+    (List.length forced) muxed.Scan.Scan_sim.total_toggles
+    trad.Scan.Scan_sim.total_toggles
+    (Scanpower.Flow.improvement
+       (float_of_int trad.Scan.Scan_sim.total_toggles)
+       (float_of_int muxed.Scan.Scan_sim.total_toggles))

@@ -1,0 +1,52 @@
+open Netlist
+
+let compatible a b =
+  let n = Array.length a in
+  Array.length b = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    match a.(i), b.(i) with
+    | Logic.Zero, Logic.One | Logic.One, Logic.Zero -> ok := false
+    | (Logic.Zero | Logic.One | Logic.X), _ -> ()
+  done;
+  !ok
+
+let merge a b =
+  if not (compatible a b) then invalid_arg "Compaction.merge: incompatible";
+  Array.mapi
+    (fun i va -> match va with Logic.X -> b.(i) | Logic.Zero | Logic.One -> va)
+    a
+
+let merge_cubes cubes =
+  let merged : Logic.t array list ref = ref [] in
+  let place cube =
+    let rec try_merge acc = function
+      | [] -> List.rev (cube :: acc)
+      | existing :: rest ->
+        if compatible existing cube then
+          List.rev_append acc (merge existing cube :: rest)
+        else try_merge (existing :: acc) rest
+    in
+    merged := try_merge [] !merged
+  in
+  List.iter place cubes;
+  !merged
+
+let fill_random rng cube =
+  Array.map
+    (fun v ->
+      match v with
+      | Logic.Zero -> false
+      | Logic.One -> true
+      | Logic.X -> Util.Rng.bool rng)
+    cube
+
+let fill_constant b cube =
+  Array.map
+    (fun v ->
+      match v with
+      | Logic.Zero -> false
+      | Logic.One -> true
+      | Logic.X -> b)
+    cube

@@ -1,0 +1,20 @@
+(** Static test-set compaction: merging of compatible test cubes (two
+    cubes merge when no position carries opposite cares) and
+    deterministic random X-fill. *)
+
+open Netlist
+
+val compatible : Logic.t array -> Logic.t array -> bool
+
+val merge : Logic.t array -> Logic.t array -> Logic.t array
+(** Positionwise intersection of cares.
+    @raise Invalid_argument if the cubes are incompatible. *)
+
+val merge_cubes : Logic.t array list -> Logic.t array list
+(** Greedy first-fit merging; never increases the cube count and
+    preserves every care bit. *)
+
+val fill_random : Util.Rng.t -> Logic.t array -> bool array
+(** Replace every X by a coin flip. *)
+
+val fill_constant : bool -> Logic.t array -> bool array

@@ -1,0 +1,22 @@
+(** The classic D-algorithm (Roth): structural test generation that, in
+    contrast to {!Podem}'s input-space search, assigns internal lines
+    directly and maintains a J-frontier of assignments still to be
+    justified alongside the D-frontier of fault effects still to be
+    propagated.
+
+    Kept as an independent engine: the test suite cross-validates it
+    against PODEM fault by fault (both must agree on testability up to
+    aborts), and the paper itself describes its baseline's search as
+    "D-algorithm-like". *)
+
+open Netlist
+
+type result =
+  | Test of Logic.t array
+      (** Source cube (positional over [Circuit.sources]); X positions
+          are free. *)
+  | Untestable
+  | Aborted
+
+val generate : ?backtrack_limit:int -> Circuit.t -> Fault.t -> result
+(** Default backtrack limit: 2000 explored decision alternatives. *)

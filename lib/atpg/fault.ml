@@ -1,0 +1,68 @@
+open Netlist
+
+type site =
+  | Output_line of int
+  | Input_pin of int * int
+
+type t = {
+  site : site;
+  stuck : bool;
+}
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let site_node f =
+  match f.site with
+  | Output_line id -> id
+  | Input_pin (id, _) -> id
+
+let to_string c f =
+  let polarity = if f.stuck then "s-a-1" else "s-a-0" in
+  match f.site with
+  | Output_line id -> Printf.sprintf "%s %s" (Circuit.node c id).name polarity
+  | Input_pin (id, pin) ->
+    Printf.sprintf "%s.in%d %s" (Circuit.node c id).name pin polarity
+
+let all_faults c =
+  let faults = ref [] in
+  let add site = faults := { site; stuck = true } :: { site; stuck = false } :: !faults in
+  Array.iter
+    (fun nd ->
+      (match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> add (Output_line nd.id)
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        add (Output_line nd.id)
+      | Gate.Output -> ());
+      if Gate.is_logic nd.Circuit.kind then
+        Array.iteri
+          (fun pin f ->
+            let driver = Circuit.node c f in
+            if Array.length driver.Circuit.fanouts > 1 then
+              add (Input_pin (nd.Circuit.id, pin)))
+          nd.Circuit.fanins)
+    (Circuit.nodes c);
+  List.rev !faults
+
+let collapse c faults =
+  let keep f =
+    match f.site with
+    | Output_line _ -> true
+    | Input_pin (id, _) ->
+      let nd = Circuit.node c id in
+      (match nd.Circuit.kind with
+      | Gate.Buf | Gate.Not -> false (* equivalent to the output fault *)
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        (* pin stuck at the controlling value == output stuck at the
+           controlled response: keep only the non-controlling pin fault *)
+        (match Gate.controlling_value nd.Circuit.kind with
+        | Some Logic.Zero -> f.stuck
+        | Some Logic.One -> not f.stuck
+        | Some Logic.X | None -> true)
+      | Gate.Xor | Gate.Xnor -> true
+      | Gate.Input | Gate.Dff | Gate.Output -> true)
+  in
+  List.filter keep faults
+
+let collapsed_faults c = collapse c (all_faults c)

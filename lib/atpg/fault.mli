@@ -1,0 +1,39 @@
+(** Single stuck-at fault model over the combinational core of a
+    full-scan circuit, with classic equivalence collapsing. *)
+
+open Netlist
+
+type site =
+  | Output_line of int  (** stem: the output line of node [id] *)
+  | Input_pin of int * int  (** branch: pin [pin] of gate [id] *)
+
+type t = {
+  site : site;
+  stuck : bool;  (** stuck-at-1 when true *)
+}
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : Circuit.t -> t -> string
+(** e.g. ["G10 s-a-0"] or ["G22.in1 s-a-1"]. *)
+
+val site_node : t -> int
+(** The node whose evaluation the fault perturbs. *)
+
+val all_faults : Circuit.t -> t list
+(** Uncollapsed fault universe: both polarities on every stem (gate,
+    input and flip-flop output lines) and on every gate input pin whose
+    driver has more than one fanout (fanout-free pins are structurally
+    the same line as the stem). *)
+
+val collapse : Circuit.t -> t list -> t list
+(** Equivalence collapsing: a branch pin stuck at the gate's
+    controlling value is equivalent to the gate output stuck at its
+    controlled response (and an inverter/buffer pin fault to the
+    corresponding output fault), so only the representative output
+    fault is kept. *)
+
+val collapsed_faults : Circuit.t -> t list
+(** [collapse c (all_faults c)]. *)

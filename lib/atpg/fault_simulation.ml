@@ -1,0 +1,224 @@
+open Netlist
+
+let word_bits = 64
+
+(* Bitwise gate evaluation over packed patterns. *)
+let eval_word kind (vs : int64 array) =
+  let fold op seed =
+    let acc = ref seed in
+    Array.iter (fun v -> acc := op !acc v) vs;
+    !acc
+  in
+  match kind with
+  | Gate.Input | Gate.Dff -> invalid_arg "Fault_simulation: source eval"
+  | Gate.Output | Gate.Buf -> vs.(0)
+  | Gate.Not -> Int64.lognot vs.(0)
+  | Gate.And -> fold Int64.logand Int64.minus_one
+  | Gate.Nand -> Int64.lognot (fold Int64.logand Int64.minus_one)
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+
+type machine = {
+  circuit : Circuit.t;
+  good : int64 array; (* node id -> packed good values *)
+  observables : int array;
+  cones : (int, int array) Hashtbl.t; (* site node -> topo-sorted cone *)
+  (* stamped per-fault scratch: faulty value of a node is valid only
+     when its stamp matches the machine's current stamp *)
+  faulty : int64 array;
+  faulty_stamp : int array;
+  mutable stamp : int;
+}
+
+let observables c =
+  let dpins =
+    Array.to_list (Circuit.dffs c)
+    |> List.map (fun id -> (Circuit.node c id).Circuit.fanins.(0))
+  in
+  Array.of_list (Array.to_list (Circuit.outputs c) @ dpins)
+
+let make c =
+  let n = Circuit.node_count c in
+  {
+    circuit = c;
+    good = Array.make n 0L;
+    observables = observables c;
+    cones = Hashtbl.create 256;
+    faulty = Array.make n 0L;
+    faulty_stamp = Array.make n 0;
+    stamp = 0;
+  }
+
+(* Pack up to 64 vectors (positional over sources) into the good
+   machine and simulate; returns the valid-pattern mask. *)
+let load_good m vectors =
+  let c = m.circuit in
+  let srcs = Circuit.sources c in
+  let count = List.length vectors in
+  assert (count > 0 && count <= word_bits);
+  Array.iteri
+    (fun pos id ->
+      let w = ref 0L in
+      List.iteri
+        (fun vi vec ->
+          if vec.(pos) then w := Int64.logor !w (Int64.shift_left 1L vi))
+        vectors;
+      m.good.(id) <- !w)
+    srcs;
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if not (Gate.is_source nd.kind) then
+        m.good.(id) <- eval_word nd.kind (Array.map (fun f -> m.good.(f)) nd.fanins))
+    (Circuit.topo_order c);
+  if count = word_bits then Int64.minus_one
+  else Int64.sub (Int64.shift_left 1L count) 1L
+
+(* Structural fanout cone of a node, in topological order. *)
+let cone m site =
+  match Hashtbl.find_opt m.cones site with
+  | Some arr -> arr
+  | None ->
+    let c = m.circuit in
+    let in_cone = Array.make (Circuit.node_count c) false in
+    in_cone.(site) <- true;
+    let members = ref [] in
+    Array.iter
+      (fun id ->
+        if in_cone.(id) then begin
+          members := id :: !members;
+          Array.iter
+            (fun succ ->
+              if not (Gate.equal_kind (Circuit.node c succ).Circuit.kind Gate.Dff)
+              then in_cone.(succ) <- true)
+            (Circuit.node c id).Circuit.fanouts
+        end)
+      (Circuit.topo_order c);
+    let arr = Array.of_list (List.rev !members) in
+    Hashtbl.replace m.cones site arr;
+    arr
+
+(* Detection word of one fault against the loaded good machine: bit i
+   set iff valid pattern i detects the fault. *)
+let fault_detection_word m mask (f : Fault.t) =
+  let c = m.circuit in
+  let site = Fault.site_node f in
+  let cone_nodes = cone m site in
+  let stuck_word = if f.Fault.stuck then Int64.minus_one else 0L in
+  m.stamp <- m.stamp + 1;
+  let stamp = m.stamp in
+  let value id =
+    if m.faulty_stamp.(id) = stamp then m.faulty.(id) else m.good.(id)
+  in
+  let det = ref 0L in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      let w =
+        match f.Fault.site with
+        | Fault.Output_line fid when fid = id -> stuck_word
+        | Fault.Output_line _ | Fault.Input_pin _ ->
+          if Gate.is_source nd.kind then m.good.(id)
+          else begin
+            let vs = Array.map (fun fanin -> value fanin) nd.fanins in
+            (match f.Fault.site with
+            | Fault.Input_pin (gid, pin) when gid = id -> vs.(pin) <- stuck_word
+            | Fault.Input_pin _ | Fault.Output_line _ -> ());
+            eval_word nd.kind vs
+          end
+      in
+      m.faulty.(id) <- w;
+      m.faulty_stamp.(id) <- stamp)
+    cone_nodes;
+  Array.iter
+    (fun ob ->
+      if m.faulty_stamp.(ob) = stamp then
+        det := Int64.logor !det (Int64.logxor m.faulty.(ob) m.good.(ob)))
+    m.observables;
+  Int64.logand !det mask
+
+let fault_detected m mask f = fault_detection_word m mask f <> 0L
+
+let rec batches n = function
+  | [] -> []
+  | vectors ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | v :: rest -> take (k - 1) (v :: acc) rest
+    in
+    let batch, rest = take n [] vectors in
+    batch :: batches n rest
+
+let split c ~faults ~vectors =
+  if vectors = [] then ([], faults)
+  else begin
+    let m = make c in
+    let remaining = ref faults in
+    let detected = ref [] in
+    List.iter
+      (fun batch ->
+        if !remaining <> [] then begin
+          let mask = load_good m batch in
+          let det, undet =
+            List.partition (fun f -> fault_detected m mask f) !remaining
+          in
+          detected := List.rev_append det !detected;
+          remaining := undet
+        end)
+      (batches word_bits vectors);
+    (List.rev !detected, !remaining)
+  end
+
+let coverage c ~faults ~vectors =
+  match faults with
+  | [] -> 1.0
+  | _ ->
+    let detected, _ = split c ~faults ~vectors in
+    float_of_int (List.length detected) /. float_of_int (List.length faults)
+
+let effective_subset c ~faults ~vectors =
+  (* Reverse-order static compaction. The serial walk (simulate one
+     vector, drop detected faults, repeat) is quadratic; instead the
+     full fault x vector detection matrix is computed with 64-way
+     pattern parallelism, then the reverse greedy selection runs on
+     bitmaps: keep a vector iff it detects a fault no later-kept vector
+     detects. *)
+  let vec_arr = Array.of_list vectors in
+  let n_vec = Array.length vec_arr in
+  if n_vec = 0 then []
+  else begin
+    let m = make c in
+    let n_words = (n_vec + word_bits - 1) / word_bits in
+    let flist = Array.of_list faults in
+    let detection = Array.make_matrix (Array.length flist) n_words 0L in
+    for w = 0 to n_words - 1 do
+      let batch =
+        Array.to_list
+          (Array.sub vec_arr (w * word_bits)
+             (min word_bits (n_vec - (w * word_bits))))
+      in
+      let mask = load_good m batch in
+      Array.iteri
+        (fun fi f -> detection.(fi).(w) <- fault_detection_word m mask f)
+        flist
+    done;
+    let covered = Array.make (Array.length flist) false in
+    let keep = ref [] in
+    for v = n_vec - 1 downto 0 do
+      let word = v / word_bits and bit = v mod word_bits in
+      let test = Int64.shift_left 1L bit in
+      let newly = ref false in
+      Array.iteri
+        (fun fi det ->
+          if (not covered.(fi)) && Int64.logand det.(word) test <> 0L then begin
+            covered.(fi) <- true;
+            newly := true
+          end)
+        detection;
+      if !newly then keep := vec_arr.(v) :: !keep
+    done;
+    !keep
+  end

@@ -1,0 +1,31 @@
+(** 64-way pattern-parallel stuck-at fault simulation.
+
+    Patterns are packed into 64-bit words; each fault is re-simulated
+    only inside its structural fanout cone and compared against the
+    good machine at the observable lines (primary outputs and
+    flip-flop D pins). *)
+
+open Netlist
+
+val split :
+  Circuit.t ->
+  faults:Fault.t list ->
+  vectors:bool array list ->
+  Fault.t list * Fault.t list
+(** [(detected, undetected)] partition of the fault list under the
+    fully-specified source vectors (positional over
+    [Circuit.sources]). *)
+
+val coverage :
+  Circuit.t -> faults:Fault.t list -> vectors:bool array list -> float
+(** Fraction of the fault list detected. *)
+
+val effective_subset :
+  Circuit.t ->
+  faults:Fault.t list ->
+  vectors:bool array list ->
+  bool array list
+(** Reverse-order static compaction: walk the vectors from last to
+    first with fault dropping and keep only those that detect at least
+    one not-yet-detected fault; the result (in original order) detects
+    the same fault set. *)

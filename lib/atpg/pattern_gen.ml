@@ -1,0 +1,150 @@
+open Netlist
+
+type config = {
+  seed : int;
+  random_batches : int;
+  stale_batches : int;
+  backtrack_limit : int;
+  podem_budget : int;
+  scoap_guide : bool;
+  merge : bool;
+  reverse_compact : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    random_batches = 32;
+    stale_batches = 5;
+    backtrack_limit = 25;
+    podem_budget = 4000;
+    scoap_guide = true;
+    merge = true;
+    reverse_compact = true;
+  }
+
+type outcome = {
+  vectors : bool array list;
+  total_faults : int;
+  detected : int;
+  untestable : int;
+  aborted : int;
+  skipped : int;
+  coverage : float;
+}
+
+let random_vectors ~seed ~count c =
+  let rng = Util.Rng.create seed in
+  let n = Array.length (Circuit.sources c) in
+  List.init count (fun _ -> Util.Rng.bool_array rng n)
+
+let generate ?(config = default_config) c =
+  let faults = Fault.collapsed_faults c in
+  let total_faults = List.length faults in
+  let rng = Util.Rng.create config.seed in
+  let n_sources = Array.length (Circuit.sources c) in
+  let kept = ref [] in
+  let remaining = ref faults in
+  (* Phase 1: random vectors with fault dropping; a batch only survives
+     if it detects something new. *)
+  let stale = ref 0 in
+  let batch_no = ref 0 in
+  while
+    !remaining <> []
+    && !batch_no < config.random_batches
+    && !stale < config.stale_batches
+  do
+    incr batch_no;
+    let batch = List.init 64 (fun _ -> Util.Rng.bool_array rng n_sources) in
+    let detected, undet =
+      Fault_simulation.split c ~faults:!remaining ~vectors:batch
+    in
+    if detected = [] then incr stale
+    else begin
+      stale := 0;
+      remaining := undet;
+      (* keep only the vectors of the batch that matter *)
+      let useful =
+        Fault_simulation.effective_subset c ~faults:detected ~vectors:batch
+      in
+      kept := !kept @ useful
+    end
+  done;
+  (* Phase 2: PODEM per remaining fault, processed in chunks so that
+     each chunk's vectors drop later faults before their turn. *)
+  let untestable = ref 0 and aborted = ref 0 in
+  let budget = ref config.podem_budget in
+  let guide = if config.scoap_guide then Some (Scoap.compute c) else None in
+  let rec deterministic () =
+    match !remaining with
+    | [] -> ()
+    | _ when !budget <= 0 -> ()
+    | _ ->
+      (* build one chunk of up to 64 cubes; collect always consumes the
+         faults it visits, so every iteration makes progress *)
+      let cubes = ref [] and processed = ref [] in
+      let rec collect n = function
+        | [] -> []
+        | rest when n = 0 -> rest
+        | _ when !budget <= 0 -> []
+        | f :: rest ->
+          decr budget;
+          (match
+             Podem.generate ?guide ~backtrack_limit:config.backtrack_limit c f
+           with
+          | Podem.Test cube ->
+            cubes := cube :: !cubes;
+            processed := f :: !processed;
+            collect (n - 1) rest
+          | Podem.Untestable ->
+            incr untestable;
+            collect n rest
+          | Podem.Aborted ->
+            incr aborted;
+            collect n rest)
+      in
+      let rest = collect 64 !remaining in
+      let cubes = if config.merge then Compaction.merge_cubes !cubes else !cubes in
+      let vectors = List.map (Compaction.fill_random rng) cubes in
+      (* the generated vectors also drop faults queued behind them *)
+      let _, undet =
+        Fault_simulation.split c ~faults:(rest @ !processed) ~vectors
+      in
+      (* faults whose cube was generated but that escaped detection
+         after filling are counted as aborted rather than retried *)
+      let escaped = List.filter (fun f -> List.memq f !processed) undet in
+      aborted := !aborted + List.length escaped;
+      remaining := List.filter (fun f -> not (List.memq f escaped)) undet;
+      kept := !kept @ vectors;
+      deterministic ()
+  in
+  deterministic ();
+  (* Phase 3: reverse-order static compaction over the whole set. *)
+  let vectors =
+    if config.reverse_compact then
+      Fault_simulation.effective_subset c ~faults ~vectors:!kept
+    else !kept
+  in
+  let skipped = List.length !remaining in
+  let detected_total =
+    total_faults - skipped - !untestable - !aborted
+  in
+  let testable = total_faults - !untestable in
+  {
+    vectors;
+    total_faults;
+    detected = detected_total;
+    untestable = !untestable;
+    aborted = !aborted;
+    skipped;
+    coverage =
+      (if testable = 0 then 1.0
+       else float_of_int detected_total /. float_of_int testable);
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "vectors=%d faults=%d detected=%d untestable=%d aborted=%d skipped=%d coverage=%.2f%%"
+    (List.length o.vectors) o.total_faults o.detected o.untestable o.aborted
+    o.skipped
+    (100.0 *. o.coverage)

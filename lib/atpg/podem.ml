@@ -1,0 +1,336 @@
+open Netlist
+module F = Logic.Five
+
+type result =
+  | Test of Logic.t array
+  | Untestable
+  | Aborted
+
+type engine = {
+  circuit : Circuit.t;
+  fault : Fault.t;
+  guide : Scoap.t option; (* SCOAP-guided backtrace when present *)
+  values : F.five array; (* node id -> five-valued value *)
+  assigned : Logic.t array; (* source position -> assigned value *)
+  source_pos : (int, int) Hashtbl.t; (* node id -> source position *)
+  observables : int list; (* node ids whose value is observed *)
+  is_observable : bool array;
+  cone : int array; (* fault fanout cone, topologically ordered *)
+  (* level-bucketed propagation queue *)
+  buckets : int list array;
+  pending : bool array;
+  visited : int array; (* stamped scratch for the X-path check *)
+  mutable stamp : int;
+}
+
+let make_engine ?guide c fault =
+  let source_pos = Hashtbl.create 64 in
+  Array.iteri (fun pos id -> Hashtbl.add source_pos id pos) (Circuit.sources c);
+  let observables =
+    Array.to_list (Circuit.outputs c)
+    @ (Array.to_list (Circuit.dffs c)
+      |> List.map (fun id -> (Circuit.node c id).Circuit.fanins.(0)))
+  in
+  let n = Circuit.node_count c in
+  let is_observable = Array.make n false in
+  List.iter (fun id -> is_observable.(id) <- true) observables;
+  (* structural fanout cone of the fault site: the only region where a
+     D can live, hence where the frontier and X-path scans look *)
+  let in_cone = Array.make n false in
+  in_cone.(Fault.site_node fault) <- true;
+  let members = ref [] in
+  Array.iter
+    (fun id ->
+      if in_cone.(id) then begin
+        members := id :: !members;
+        Array.iter
+          (fun succ ->
+            if not (Gate.equal_kind (Circuit.node c succ).Circuit.kind Gate.Dff)
+            then in_cone.(succ) <- true)
+          (Circuit.node c id).Circuit.fanouts
+      end)
+    (Circuit.topo_order c);
+  {
+    circuit = c;
+    fault;
+    guide;
+    values = Array.make n F.FX;
+    assigned = Array.make (Array.length (Circuit.sources c)) Logic.X;
+    source_pos;
+    observables;
+    is_observable;
+    cone = Array.of_list (List.rev !members);
+    buckets = Array.make (Circuit.depth c + 1) [];
+    pending = Array.make n false;
+    visited = Array.make n 0;
+    stamp = 0;
+  }
+
+(* Value of one node under the engine's fault. *)
+let eval_node e id =
+  let c = e.circuit in
+  let { Fault.site; stuck } = e.fault in
+  let stuck_l = Logic.of_bool stuck in
+  let nd = Circuit.node c id in
+  let v =
+    if Gate.is_source nd.kind then
+      F.of_ternary e.assigned.(Hashtbl.find e.source_pos id)
+    else begin
+      let vs = Array.map (fun f -> e.values.(f)) nd.fanins in
+      (match site with
+      | Fault.Input_pin (gid, pin) when gid = id ->
+        vs.(pin) <- F.make ~good:(F.good vs.(pin)) ~faulty:stuck_l
+      | Fault.Input_pin _ | Fault.Output_line _ -> ());
+      Gate.eval_five nd.kind vs
+    end
+  in
+  match site with
+  | Fault.Output_line fid when fid = id ->
+    F.make ~good:(F.good v) ~faulty:stuck_l
+  | Fault.Output_line _ | Fault.Input_pin _ -> v
+
+let imply_full e =
+  Array.iter
+    (fun id -> e.values.(id) <- eval_node e id)
+    (Circuit.topo_order e.circuit)
+
+let schedule e id =
+  if
+    (not e.pending.(id))
+    && not (Gate.is_source (Circuit.node e.circuit id).Circuit.kind)
+  then begin
+    e.pending.(id) <- true;
+    e.buckets.(Circuit.level e.circuit id) <- id :: e.buckets.(Circuit.level e.circuit id)
+  end
+
+(* Incremental implication after one source changed. *)
+let imply_from e source =
+  let c = e.circuit in
+  let v = eval_node e source in
+  if not (F.equal v e.values.(source)) then begin
+    e.values.(source) <- v;
+    Array.iter (fun succ -> schedule e succ) (Circuit.node c source).Circuit.fanouts;
+    for lvl = 1 to Array.length e.buckets - 1 do
+      let ids = e.buckets.(lvl) in
+      e.buckets.(lvl) <- [];
+      List.iter
+        (fun id ->
+          e.pending.(id) <- false;
+          let v = eval_node e id in
+          if not (F.equal v e.values.(id)) then begin
+            e.values.(id) <- v;
+            Array.iter (fun succ -> schedule e succ) (Circuit.node c id).Circuit.fanouts
+          end)
+        ids
+    done
+  end
+
+let detected e =
+  Array.exists
+    (fun id -> e.is_observable.(id) && F.is_d_or_dbar e.values.(id))
+    e.cone
+
+(* The line whose good value must reach the opposite of the stuck value
+   for the fault to be activated. *)
+let activation_node e =
+  match e.fault.Fault.site with
+  | Fault.Output_line id -> id
+  | Fault.Input_pin (gid, pin) -> (Circuit.node e.circuit gid).Circuit.fanins.(pin)
+
+let activation_value e = Logic.lnot (Logic.of_bool e.fault.Fault.stuck)
+
+let activated e =
+  Logic.equal (F.good e.values.(activation_node e)) (activation_value e)
+
+let activation_impossible e =
+  Logic.equal
+    (F.good e.values.(activation_node e))
+    (Logic.of_bool e.fault.Fault.stuck)
+
+(* Whether gate [id] sees a D on some input. For an input-pin fault the
+   D lives on the faulted branch only: the driver line itself stays
+   healthy, so the stem value never shows it — the injected pin has to
+   be reconstructed here, otherwise the faulted gate never enters the
+   frontier and the search wrongly declares such faults untestable. *)
+let sees_d e id =
+  let nd = Circuit.node e.circuit id in
+  Array.exists (fun f -> F.is_d_or_dbar e.values.(f)) nd.Circuit.fanins
+  ||
+  match e.fault.Fault.site with
+  | Fault.Input_pin (gid, pin) when gid = id ->
+    let driver = nd.Circuit.fanins.(pin) in
+    F.is_d_or_dbar
+      (F.make
+         ~good:(F.good e.values.(driver))
+         ~faulty:(Logic.of_bool e.fault.Fault.stuck))
+  | Fault.Input_pin _ | Fault.Output_line _ -> false
+
+(* D-frontier: only gates inside the fault cone can see a D. *)
+let d_frontier e =
+  let c = e.circuit in
+  let frontier = ref [] in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if Gate.is_logic nd.Circuit.kind && F.equal e.values.(id) F.FX && sees_d e id
+      then frontier := id :: !frontier)
+    e.cone;
+  List.rev !frontier
+
+(* X-path check: can a D reach an observable through X-valued nodes? *)
+let x_path_exists e frontier =
+  let c = e.circuit in
+  e.stamp <- e.stamp + 1;
+  let stamp = e.stamp in
+  let rec reachable id =
+    if e.is_observable.(id) then true
+    else if e.visited.(id) = stamp then false
+    else begin
+      e.visited.(id) <- stamp;
+      Array.exists
+        (fun succ ->
+          let snd_ = Circuit.node c succ in
+          (not (Gate.equal_kind snd_.Circuit.kind Gate.Dff))
+          && (e.is_observable.(succ)
+             || (F.equal e.values.(succ) F.FX && reachable succ)))
+        (Circuit.node c id).Circuit.fanouts
+    end
+  in
+  List.exists reachable frontier
+
+(* Backtrace an objective to an unassigned source, following X inputs
+   and accounting for gate inversions; level-based easiest/hardest pick. *)
+let backtrace e (node, value) =
+  let c = e.circuit in
+  let rec walk id v =
+    let nd = Circuit.node c id in
+    if Gate.is_source nd.kind then Some (id, v)
+    else begin
+      let v_inner = if Gate.inversion nd.kind then Logic.lnot v else v in
+      let x_fanins =
+        Array.to_list nd.fanins
+        |> List.filter (fun f -> F.equal e.values.(f) F.FX)
+      in
+      match x_fanins with
+      | [] -> None
+      | f :: _ as fs ->
+        (* cost of driving a candidate toward the value it will receive:
+           SCOAP controllability when a guide is present, circuit depth
+           otherwise *)
+        let cost g =
+          match e.guide with
+          | Some scoap ->
+            (match v_inner with
+            | Logic.Zero | Logic.One -> Scoap.cc scoap g v_inner
+            | Logic.X -> Circuit.level c g)
+          | None -> Circuit.level c g
+        in
+        let by_cost cmp =
+          List.fold_left (fun acc g -> if cmp (cost g) (cost acc) then g else acc) f fs
+        in
+        let pick =
+          match Gate.controlling_value nd.kind with
+          | Some cv when Logic.equal v_inner cv ->
+            by_cost ( < ) (* one controlling input suffices: easiest *)
+          | Some _ -> by_cost ( > ) (* all inputs needed: hardest first *)
+          | None -> by_cost ( < )
+        in
+        walk pick v_inner
+    end
+  in
+  walk node value
+
+let run ?guide ?(backtrack_limit = 100) ?(iteration_limit = 400) c fault =
+  let e = make_engine ?guide c fault in
+  imply_full e;
+  let iterations = ref 0 in
+  (* decision stack: (source node, source position, value, flipped) *)
+  let stack = ref [] in
+  let backtracks = ref 0 in
+  let aborted = ref false in
+  let rec backtrack () =
+    match !stack with
+    | [] -> false
+    | (src, pos, v, flipped) :: rest ->
+      if flipped then begin
+        e.assigned.(pos) <- Logic.X;
+        imply_from e src;
+        stack := rest;
+        backtrack ()
+      end
+      else begin
+        incr backtracks;
+        if !backtracks > backtrack_limit then begin
+          aborted := true;
+          false
+        end
+        else begin
+          let v' = Logic.lnot v in
+          e.assigned.(pos) <- v';
+          stack := (src, pos, v', true) :: rest;
+          imply_from e src;
+          true
+        end
+      end
+  in
+  (* One frontier scan per iteration serves both the dead-end check
+     and the objective; a global iteration cap bounds the work spent on
+     hard (usually redundant) faults. *)
+  let rec search () =
+    incr iterations;
+    if !iterations > iteration_limit then begin
+      aborted := true;
+      None
+    end
+    else if detected e then Some (Array.copy e.assigned)
+    else if activation_impossible e then
+      if backtrack () then search () else None
+    else begin
+      let obj =
+        if not (activated e) then Some (activation_node e, activation_value e)
+        else begin
+          match d_frontier e with
+          | [] -> None
+          | frontier when not (x_path_exists e frontier) -> None
+          | g :: _ ->
+            let nd = Circuit.node e.circuit g in
+            (match
+               Array.find_opt
+                 (fun f -> F.equal e.values.(f) F.FX)
+                 nd.Circuit.fanins
+             with
+            | None -> None
+            | Some f ->
+              let v =
+                match Gate.controlling_value nd.Circuit.kind with
+                | Some cv -> Logic.lnot cv
+                | None -> Logic.One
+              in
+              Some (f, v))
+        end
+      in
+      match obj with
+      | None -> if backtrack () then search () else None
+      | Some obj ->
+        (match backtrace e obj with
+        | None -> if backtrack () then search () else None
+        | Some (source, v) ->
+          let pos = Hashtbl.find e.source_pos source in
+          e.assigned.(pos) <- v;
+          stack := (source, pos, v, false) :: !stack;
+          imply_from e source;
+          search ())
+    end
+  in
+  match search () with
+  | Some cube -> Test cube
+  | None -> if !aborted then Aborted else Untestable
+
+let generate ?guide ?backtrack_limit ?iteration_limit c fault =
+  run ?guide ?backtrack_limit ?iteration_limit c fault
+
+let detects c fault vector =
+  let e = make_engine c fault in
+  Array.iteri (fun pos b -> e.assigned.(pos) <- Logic.of_bool b) vector;
+  imply_full e;
+  detected e

@@ -1,0 +1,148 @@
+open Netlist
+
+type t = {
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;
+}
+
+(* Saturating addition keeps redundant-logic measures from wrapping. *)
+let cap = 1_000_000
+let ( +! ) a b = min cap (a + b)
+
+let sum_all xs = Array.fold_left ( +! ) 0 xs
+let min_all xs = Array.fold_left min cap xs
+
+let compute c =
+  let n = Circuit.node_count c in
+  let cc0 = Array.make n cap and cc1 = Array.make n cap in
+  (* forward pass: controllabilities in topological order *)
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      match nd.kind with
+      | Gate.Input | Gate.Dff ->
+        cc0.(id) <- 1;
+        cc1.(id) <- 1
+      | Gate.Output | Gate.Buf ->
+        cc0.(id) <- cc0.(nd.fanins.(0)) +! 1;
+        cc1.(id) <- cc1.(nd.fanins.(0)) +! 1
+      | Gate.Not ->
+        cc0.(id) <- cc1.(nd.fanins.(0)) +! 1;
+        cc1.(id) <- cc0.(nd.fanins.(0)) +! 1
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        let zeros = Array.map (fun f -> cc0.(f)) nd.fanins in
+        let ones = Array.map (fun f -> cc1.(f)) nd.fanins in
+        let all1 = sum_all ones +! 1 in
+        let all0 = sum_all zeros +! 1 in
+        let any0 = min_all zeros +! 1 in
+        let any1 = min_all ones +! 1 in
+        (* parity gates: cheapest input combination with the right
+           parity; approximated by the standard two-input formulas
+           folded over the fanins *)
+        let xor_cc =
+          let c0 = ref zeros.(0) and c1 = ref ones.(0) in
+          for i = 1 to Array.length zeros - 1 do
+            let n0 = min (!c0 +! zeros.(i)) (!c1 +! ones.(i)) +! 1 in
+            let n1 = min (!c1 +! zeros.(i)) (!c0 +! ones.(i)) +! 1 in
+            c0 := n0;
+            c1 := n1
+          done;
+          (!c0, !c1)
+        in
+        (match nd.kind with
+        | Gate.And ->
+          cc1.(id) <- all1;
+          cc0.(id) <- any0
+        | Gate.Nand ->
+          cc0.(id) <- all1;
+          cc1.(id) <- any0
+        | Gate.Or ->
+          cc0.(id) <- all0;
+          cc1.(id) <- any1
+        | Gate.Nor ->
+          cc1.(id) <- all0;
+          cc0.(id) <- any1
+        | Gate.Xor ->
+          let c0, c1 = xor_cc in
+          cc0.(id) <- c0;
+          cc1.(id) <- c1
+        | Gate.Xnor ->
+          let c0, c1 = xor_cc in
+          cc0.(id) <- c1;
+          cc1.(id) <- c0
+        | Gate.Input | Gate.Dff | Gate.Output | Gate.Buf | Gate.Not ->
+          assert false))
+    (Circuit.topo_order c);
+  (* backward pass: observabilities *)
+  let co = Array.make n cap in
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Output | Gate.Dff -> co.(nd.Circuit.id) <- 0
+      | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        ())
+    (Circuit.nodes c);
+  let topo = Circuit.topo_order c in
+  for i = Array.length topo - 1 downto 0 do
+    let id = topo.(i) in
+    let nd = Circuit.node c id in
+    if not (Gate.equal_kind nd.kind Gate.Output) then
+      Array.iter
+        (fun succ ->
+          let snd_ = Circuit.node c succ in
+          let through =
+            match snd_.Circuit.kind with
+            | Gate.Output | Gate.Dff -> 0
+            | Gate.Buf | Gate.Not -> co.(succ) +! 1
+            | Gate.And | Gate.Nand ->
+              (* the other inputs must be non-controlling (1) *)
+              let others = ref 0 in
+              Array.iter
+                (fun f -> if f <> id then others := !others +! cc1.(f))
+                snd_.Circuit.fanins;
+              co.(succ) +! !others +! 1
+            | Gate.Or | Gate.Nor ->
+              let others = ref 0 in
+              Array.iter
+                (fun f -> if f <> id then others := !others +! cc0.(f))
+                snd_.Circuit.fanins;
+              co.(succ) +! !others +! 1
+            | Gate.Xor | Gate.Xnor ->
+              let others = ref 0 in
+              Array.iter
+                (fun f ->
+                  if f <> id then others := !others +! min cc0.(f) cc1.(f))
+                snd_.Circuit.fanins;
+              co.(succ) +! !others +! 1
+            | Gate.Input -> cap
+          in
+          if through < co.(id) then co.(id) <- through)
+        nd.Circuit.fanouts
+  done;
+  { cc0; cc1; co }
+
+let cc0 t id = t.cc0.(id)
+let cc1 t id = t.cc1.(id)
+
+let cc t id = function
+  | Logic.Zero -> t.cc0.(id)
+  | Logic.One -> t.cc1.(id)
+  | Logic.X -> invalid_arg "Scoap.cc: X has no controllability"
+
+let observability t id = t.co.(id)
+
+let pick cmp t c id v =
+  let nd = Circuit.node c id in
+  if Array.length nd.Circuit.fanins = 0 then None
+  else begin
+    let best = ref nd.Circuit.fanins.(0) in
+    Array.iter
+      (fun f -> if cmp (cc t f v) (cc t !best v) then best := f)
+      nd.Circuit.fanins;
+    Some !best
+  end
+
+let hardest_input t c id v = pick ( > ) t c id v
+let easiest_input t c id v = pick ( < ) t c id v

@@ -1,0 +1,33 @@
+(** SCOAP testability measures (Goldstein 1979).
+
+    Combinational 0/1-controllability (CC0/CC1: how many assignments it
+    takes to drive a line to a value, >= 1) and observability (CO: how
+    much surrounding circuitry must cooperate to propagate the line to
+    an output). The PODEM engine can use these instead of the naive
+    level-depth heuristic when choosing which input a backtrace
+    descends into; the ATPG bench compares both. *)
+
+open Netlist
+
+type t
+
+val compute : Circuit.t -> t
+
+val cc0 : t -> int -> int
+(** Effort to set node [id] to 0; sources cost 1. *)
+
+val cc1 : t -> int -> int
+
+val cc : t -> int -> Logic.t -> int
+(** [cc t id v]: controllability of the given definite value.
+    @raise Invalid_argument for [X]. *)
+
+val observability : t -> int -> int
+(** Effort to propagate node [id] to a primary output or flip-flop D
+    pin; endpoints cost 0. *)
+
+val hardest_input : t -> Circuit.t -> int -> Logic.t -> int option
+(** Among the fanins of gate [id], the one whose controllability toward
+    [v] is largest ([None] if the gate has no fanins). *)
+
+val easiest_input : t -> Circuit.t -> int -> Logic.t -> int option

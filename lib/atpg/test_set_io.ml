@@ -1,0 +1,57 @@
+open Netlist
+
+exception Parse_error of int * string
+
+let to_string vectors =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun v ->
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) v;
+      Buffer.add_char buf '\n')
+    vectors;
+  Buffer.contents buf
+
+let to_file vectors path =
+  let oc = open_out path in
+  output_string oc (to_string vectors);
+  close_out oc
+
+let of_string c text =
+  let width = Array.length (Circuit.sources c) in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then None
+    else begin
+      if String.length line <> width then
+        raise
+          (Parse_error
+             ( lineno,
+               Printf.sprintf "expected %d bits, found %d" width
+                 (String.length line) ));
+      let v =
+        Array.init width (fun i ->
+            match line.[i] with
+            | '0' -> false
+            | '1' -> true
+            | ch ->
+              raise
+                (Parse_error (lineno, Printf.sprintf "invalid character %C" ch)))
+      in
+      Some v
+    end
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> parse_line (i + 1) line)
+  |> List.filter_map (fun x -> x)
+
+let of_file c path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string c text

@@ -1,0 +1,19 @@
+(** Plain-text test-vector files: one '0'/'1' line per vector,
+    positional over [Circuit.sources] (primary inputs first, then the
+    flip-flops in declaration order), '#' comments. The format the CLI
+    writes and reads. *)
+
+open Netlist
+
+exception Parse_error of int * string
+
+val to_string : bool array list -> string
+
+val to_file : bool array list -> string -> unit
+
+val of_string : Circuit.t -> string -> bool array list
+(** @raise Parse_error on a malformed or wrong-width line. *)
+
+val of_file : Circuit.t -> string -> bool array list
+(** @raise Parse_error on malformed input
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,4 @@
+(* Umbrella module of the [bdd] library. *)
+
+include Robdd
+module Circuit_bdd = Circuit_bdd

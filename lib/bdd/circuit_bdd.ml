@@ -1,0 +1,130 @@
+open Netlist
+
+exception Too_large
+
+type t = {
+  circuit : Circuit.t;
+  mgr : Robdd.manager;
+  funcs : Robdd.t array; (* per node id *)
+  budget : int;
+}
+
+let check_budget mgr budget =
+  if Robdd.node_count mgr > budget then raise Too_large
+
+let gate_apply mgr kind (inputs : Robdd.t list) =
+  let fold2 op seed rest =
+    List.fold_left (fun acc x -> op mgr acc x) seed rest
+  in
+  match kind, inputs with
+  | Gate.Buf, [ a ] | Gate.Output, [ a ] -> a
+  | Gate.Not, [ a ] -> Robdd.bnot mgr a
+  | Gate.And, a :: rest -> fold2 Robdd.band a rest
+  | Gate.Nand, a :: rest -> Robdd.bnot mgr (fold2 Robdd.band a rest)
+  | Gate.Or, a :: rest -> fold2 Robdd.bor a rest
+  | Gate.Nor, a :: rest -> Robdd.bnot mgr (fold2 Robdd.bor a rest)
+  | Gate.Xor, a :: rest -> fold2 Robdd.bxor a rest
+  | Gate.Xnor, a :: rest -> Robdd.bnot mgr (fold2 Robdd.bxor a rest)
+  | (Gate.Input | Gate.Dff), _
+  | Gate.Buf, _ | Gate.Output, _ | Gate.Not, _
+  | Gate.And, [] | Gate.Nand, [] | Gate.Or, [] | Gate.Nor, []
+  | Gate.Xor, [] | Gate.Xnor, [] ->
+    invalid_arg "Circuit_bdd: malformed gate"
+
+let build ?(node_budget = 2_000_000) c =
+  let mgr = Robdd.manager () in
+  let funcs = Array.make (Circuit.node_count c) (Robdd.zero mgr) in
+  Array.iteri
+    (fun pos id -> funcs.(id) <- Robdd.var mgr pos)
+    (Circuit.sources c);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if not (Gate.is_source nd.kind) then begin
+        let inputs = Array.to_list (Array.map (fun f -> funcs.(f)) nd.fanins) in
+        funcs.(id) <- gate_apply mgr nd.kind inputs;
+        check_budget mgr node_budget
+      end)
+    (Circuit.topo_order c);
+  { circuit = c; mgr; funcs; budget = node_budget }
+
+let circuit t = t.circuit
+let manager t = t.mgr
+let node_function t id = t.funcs.(id)
+
+let probabilities t ?(p_source = 0.5) () =
+  let p _ = p_source in
+  Array.map (fun f -> Robdd.probability t.mgr f ~p) t.funcs
+
+let exact_expected_leakage_uw t ?(p_source = 0.5) () =
+  let c = t.circuit in
+  let p _ = p_source in
+  let total_na = ref 0.0 in
+  Array.iter
+    (fun nd ->
+      if Gate.is_logic nd.Circuit.kind then
+        match
+          Techlib.Cell.of_gate nd.Circuit.kind
+            ~fanin:(Array.length nd.Circuit.fanins)
+        with
+        | None -> invalid_arg "Circuit_bdd: circuit is not mapped"
+        | Some cell ->
+          let k = Array.length nd.Circuit.fanins in
+          (* probability of each joint fanin state from the product of
+             the (correlated) fanin functions *)
+          for state = 0 to (1 lsl k) - 1 do
+            let conj = ref (Robdd.one t.mgr) in
+            for i = 0 to k - 1 do
+              let f = t.funcs.(nd.Circuit.fanins.(i)) in
+              let lit =
+                if state land (1 lsl i) <> 0 then f else Robdd.bnot t.mgr f
+              in
+              conj := Robdd.band t.mgr !conj lit
+            done;
+            check_budget t.mgr t.budget;
+            let pr = Robdd.probability t.mgr !conj ~p in
+            if pr > 0.0 then
+              total_na :=
+                !total_na +. (pr *. Techlib.Leakage_table.leakage_na cell ~state)
+          done)
+    (Circuit.nodes c);
+  !total_na *. Techlib.Leakage_table.vdd /. 1000.0
+
+let equivalent c1 c2 =
+  let names_of f c = Array.map (fun id -> (Circuit.node c id).Circuit.name) (f c) in
+  if names_of Circuit.sources c1 <> names_of Circuit.sources c2 then
+    invalid_arg "Circuit_bdd.equivalent: source interfaces differ";
+  if
+    Array.length (Circuit.outputs c1) <> Array.length (Circuit.outputs c2)
+    || Array.length (Circuit.dffs c1) <> Array.length (Circuit.dffs c2)
+  then invalid_arg "Circuit_bdd.equivalent: sink interfaces differ";
+  let mgr = Robdd.manager () in
+  let build_into c =
+    let funcs = Array.make (Circuit.node_count c) (Robdd.zero mgr) in
+    Array.iteri
+      (fun pos id -> funcs.(id) <- Robdd.var mgr pos)
+      (Circuit.sources c);
+    Array.iter
+      (fun id ->
+        let nd = Circuit.node c id in
+        if not (Gate.is_source nd.kind) then
+          funcs.(id) <-
+            gate_apply mgr nd.kind
+              (Array.to_list (Array.map (fun f -> funcs.(f)) nd.fanins));
+        if Robdd.node_count mgr > 2_000_000 then raise Too_large)
+      (Circuit.topo_order c);
+    funcs
+  in
+  let f1 = build_into c1 and f2 = build_into c2 in
+  let sink_funcs funcs c =
+    let po =
+      Array.to_list (Circuit.outputs c)
+      |> List.map (fun id -> funcs.((Circuit.node c id).Circuit.fanins.(0)))
+    in
+    let ns =
+      Array.to_list (Circuit.dffs c)
+      |> List.map (fun id -> funcs.((Circuit.node c id).Circuit.fanins.(0)))
+    in
+    po @ ns
+  in
+  List.for_all2 Robdd.equal (sink_funcs f1 c1) (sink_funcs f2 c2)

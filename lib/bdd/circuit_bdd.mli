@@ -1,0 +1,41 @@
+(** Symbolic analysis of a combinational core with BDDs.
+
+    Builds one BDD per node over the circuit's sources (variable [i] =
+    position [i] in [Circuit.sources]). Intended for the small and
+    mid-size benchmarks — BDD sizes are checked against a node budget
+    so callers can fall back to sampling on blow-up. *)
+
+open Netlist
+
+type t
+
+exception Too_large
+(** Raised by [build] when the manager exceeds the node budget. *)
+
+val build : ?node_budget:int -> Circuit.t -> t
+(** Default budget: 2_000_000 live nodes.
+    @raise Too_large on blow-up. *)
+
+val circuit : t -> Circuit.t
+
+val manager : t -> Robdd.manager
+
+val node_function : t -> int -> Robdd.t
+(** The BDD of a node's output over the source variables. *)
+
+val probabilities : t -> ?p_source:float -> unit -> float array
+(** Exact one-probability of every node under independent source
+    probabilities (default 0.5) — no independence assumption between
+    internal lines, unlike {!Power.Observability}. *)
+
+val exact_expected_leakage_uw : t -> ?p_source:float -> unit -> float
+(** Exact expected static power under random sources: per-gate state
+    probabilities are computed from the (possibly correlated) fanin
+    functions by BDD products. *)
+
+val equivalent : Circuit.t -> Circuit.t -> bool
+(** Formal combinational equivalence: same primary outputs and
+    next-state functions over the same source names. Circuits must
+    have matching source/output/flip-flop names.
+    @raise Invalid_argument if the interfaces differ.
+    @raise Too_large on blow-up. *)

@@ -1,0 +1,228 @@
+(* Classic hash-consed ROBDD with an if-then-else apply core.
+
+   Node representation: ids 0 and 1 are the terminals; every other
+   node is (var, low, high) with low = cofactor at var=0. Reduction
+   invariants: low <> high, and children only mention larger variable
+   indices. Handles carry their manager, so structural equality of
+   handles is physical equality of node ids. *)
+
+type node = {
+  id : int;
+  var : int; (* max_int for terminals *)
+  low : int;
+  high : int;
+}
+
+type manager = {
+  mutable nodes : node array; (* indexed by id *)
+  mutable count : int;
+  unique : (int * int * int, int) Hashtbl.t; (* (var, low, high) -> id *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  restrict_cache : (int * int * int, int) Hashtbl.t;
+  quant_cache : (int * int, int) Hashtbl.t;
+}
+
+type t = {
+  mgr : manager;
+  node_id : int;
+}
+
+let terminal0 = { id = 0; var = max_int; low = 0; high = 0 }
+let terminal1 = { id = 1; var = max_int; low = 1; high = 1 }
+
+let manager ?(cache_size = 4096) () =
+  let nodes = Array.make 1024 terminal0 in
+  nodes.(0) <- terminal0;
+  nodes.(1) <- terminal1;
+  {
+    nodes;
+    count = 2;
+    unique = Hashtbl.create cache_size;
+    ite_cache = Hashtbl.create cache_size;
+    restrict_cache = Hashtbl.create 512;
+    quant_cache = Hashtbl.create 512;
+  }
+
+let handle m id = { mgr = m; node_id = id }
+
+let node m id = m.nodes.(id)
+
+let mk m var low high =
+  if low = high then low
+  else begin
+    let key = (var, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      if m.count = Array.length m.nodes then begin
+        let bigger = Array.make (2 * m.count) terminal0 in
+        Array.blit m.nodes 0 bigger 0 m.count;
+        m.nodes <- bigger
+      end;
+      let id = m.count in
+      m.nodes.(id) <- { id; var; low; high };
+      m.count <- m.count + 1;
+      Hashtbl.add m.unique key id;
+      id
+  end
+
+let zero m = handle m 0
+let one m = handle m 1
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative index";
+  handle m (mk m i 0 1)
+
+let equal a b = a.node_id = b.node_id
+
+let is_const t =
+  if t.node_id = 0 then Some false
+  else if t.node_id = 1 then Some true
+  else None
+
+(* Shannon-expansion ITE with standard terminal cases. *)
+let rec ite_ids m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let nf = node m f and ng = node m g and nh = node m h in
+      let v = min nf.var (min ng.var nh.var) in
+      let cof n nn = if nn.var = v then (nn.low, nn.high) else (n, n) in
+      let f0, f1 = cof f nf in
+      let g0, g1 = cof g ng in
+      let h0, h1 = cof h nh in
+      let low = ite_ids m f0 g0 h0 in
+      let high = ite_ids m f1 g1 h1 in
+      let r = mk m v low high in
+      Hashtbl.replace m.ite_cache key r;
+      r
+  end
+
+let ite m f g h = handle m (ite_ids m f.node_id g.node_id h.node_id)
+
+let bnot m a = handle m (ite_ids m a.node_id 0 1)
+let band m a b = handle m (ite_ids m a.node_id b.node_id 0)
+let bor m a b = handle m (ite_ids m a.node_id 1 b.node_id)
+
+let bxor m a b =
+  let nb = ite_ids m b.node_id 0 1 in
+  handle m (ite_ids m a.node_id nb b.node_id)
+
+let bnand m a b = bnot m (band m a b)
+let bnor m a b = bnot m (bor m a b)
+let bxnor m a b = bnot m (bxor m a b)
+
+let rec restrict_ids m f v value =
+  if f < 2 then f
+  else begin
+    let nf = node m f in
+    if nf.var > v then f
+    else if nf.var = v then if value then nf.high else nf.low
+    else begin
+      let key = (f, v, if value then 1 else 0) in
+      match Hashtbl.find_opt m.restrict_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          mk m nf.var
+            (restrict_ids m nf.low v value)
+            (restrict_ids m nf.high v value)
+        in
+        Hashtbl.replace m.restrict_cache key r;
+        r
+    end
+  end
+
+let restrict m f v value = handle m (restrict_ids m f.node_id v value)
+
+let rec exists_ids m f v =
+  if f < 2 then f
+  else begin
+    let nf = node m f in
+    if nf.var > v then f
+    else if nf.var = v then ite_ids m nf.low 1 nf.high
+    else begin
+      let key = (f, v) in
+      match Hashtbl.find_opt m.quant_cache key with
+      | Some r -> r
+      | None ->
+        let r = mk m nf.var (exists_ids m nf.low v) (exists_ids m nf.high v) in
+        Hashtbl.replace m.quant_cache key r;
+        r
+    end
+  end
+
+let exists m f v = handle m (exists_ids m f.node_id v)
+
+let eval t assignment =
+  let m = t.mgr in
+  let rec go id =
+    if id = 0 then false
+    else if id = 1 then true
+    else begin
+      let n = node m id in
+      go (if assignment n.var then n.high else n.low)
+    end
+  in
+  go t.node_id
+
+let size t =
+  let m = t.mgr in
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if id >= 2 && not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      let n = node m id in
+      go n.low;
+      go n.high
+    end
+  in
+  go t.node_id;
+  Hashtbl.length seen
+
+let node_count m = m.count
+
+(* Probability of the function being 1 under independent per-variable
+   one-probabilities; linear in the BDD size with memoisation. *)
+let probability _m t ~p =
+  let m = t.mgr in
+  let cache = Hashtbl.create 64 in
+  let rec go id =
+    if id = 0 then 0.0
+    else if id = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt cache id with
+      | Some x -> x
+      | None ->
+        let n = node m id in
+        let pv = p n.var in
+        let x = ((1.0 -. pv) *. go n.low) +. (pv *. go n.high) in
+        Hashtbl.replace cache id x;
+        x
+    end
+  in
+  go t.node_id
+
+let sat_count m t ~n_vars =
+  probability m t ~p:(fun _ -> 0.5) *. (2.0 ** float_of_int n_vars)
+
+let any_sat t =
+  let m = t.mgr in
+  if t.node_id = 0 then None
+  else begin
+    let rec go id acc =
+      if id = 1 then acc
+      else begin
+        let n = node m id in
+        if n.high <> 0 then go n.high ((n.var, true) :: acc)
+        else go n.low ((n.var, false) :: acc)
+      end
+    in
+    Some (List.rev (go t.node_id []))
+  end

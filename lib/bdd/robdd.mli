@@ -1,0 +1,71 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small classic ROBDD package (hash-consed nodes, memoised apply /
+    restrict / exists, model counting and probability weighting) used
+    for the exact analyses that back up the heuristic ones:
+
+    - exact signal probabilities ({!Circuit_bdd.probabilities}) to
+      quantify the independence assumption in
+      {!Power.Observability};
+    - formal equivalence checking of the technology mapper and the
+      gate-input reordering ({!Circuit_bdd.equivalent});
+    - exact best-vector searches on small blocks.
+
+    Variables are dense non-negative integers ordered by their index
+    (smaller index nearer the root). *)
+
+type manager
+
+type t
+(** A BDD handle, valid for the manager that created it. *)
+
+val manager : ?cache_size:int -> unit -> manager
+
+val zero : manager -> t
+val one : manager -> t
+
+val var : manager -> int -> t
+(** The function of a single variable.
+    @raise Invalid_argument on a negative index. *)
+
+val equal : t -> t -> bool
+(** Constant-time: hash-consing makes structural equality physical. *)
+
+val is_const : t -> bool option
+(** [Some b] for the constant [b], [None] otherwise. *)
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+val bxor : manager -> t -> t -> t
+val bnand : manager -> t -> t -> t
+val bnor : manager -> t -> t -> t
+val bxnor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to one variable. *)
+
+val exists : manager -> t -> int -> t
+(** Existential quantification of one variable. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a full assignment. *)
+
+val size : t -> int
+(** Number of distinct internal nodes. *)
+
+val node_count : manager -> int
+(** Total live nodes in the manager (monotone; no GC). *)
+
+val sat_count : manager -> t -> n_vars:int -> float
+(** Number of satisfying assignments over [n_vars] variables (every
+    used variable index must be < [n_vars]). *)
+
+val probability : manager -> t -> p:(int -> float) -> float
+(** Probability that the function is 1 when variable [i] is 1
+    independently with probability [p i]. *)
+
+val any_sat : t -> (int * bool) list option
+(** Some satisfying partial assignment (unmentioned variables free), or
+    [None] for the zero function. *)

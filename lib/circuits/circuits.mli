@@ -1,0 +1,47 @@
+(** Benchmark circuits for the experiments.
+
+    The paper evaluates on ISCAS89 netlists, which are not shipped in
+    this sealed environment. The genuine s27 is embedded below; for
+    the twelve Table I circuits a deterministic generator synthesises
+    netlists with each benchmark's published interface and size
+    statistics (PI/PO/FF/gate counts) and a realistic structure
+    (fanin distribution over the NAND/NOR/INV library, locality-biased
+    wiring, sequential feedback through the flip-flops, no dangling
+    logic). Real [.bench] files drop in through
+    {!Netlist.Bench_parser} at any time. See DESIGN.md §2 for why the
+    substitution preserves the experiment's shape. *)
+
+open Netlist
+
+val s27 : unit -> Circuit.t
+(** The genuine ISCAS89 s27 (4 PI / 1 PO / 3 FF / 10 gates), unmapped
+    (contains AND/OR gates; run {!Techmap.Mapper.map} before power
+    analysis). *)
+
+val s27_bench_text : string
+
+(** Size profile of a benchmark to synthesise. *)
+type profile = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_ff : int;
+  n_gates : int;
+  seed : int;
+}
+
+val table1_profiles : profile list
+(** The twelve circuits of the paper's Table I (s344 … s9234) with
+    their published interface statistics. *)
+
+val generate : profile -> Circuit.t
+(** Deterministic: equal profiles give identical netlists. The result
+    uses only NAND2-4 / NOR2-4 / INV, so it is already mapped. *)
+
+val by_name : string -> Circuit.t
+(** ["s27"] gives the embedded netlist, any profile name its generated
+    circuit.
+    @raise Not_found for unknown names. *)
+
+val names : string list
+(** All available benchmark names, s27 first. *)

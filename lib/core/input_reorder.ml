@@ -1,0 +1,78 @@
+open Netlist
+
+type outcome = {
+  gates_reordered : int;
+  expected_gain_na : float;
+}
+
+let expected_cell_leakage_na cell pin_values =
+  let k = Array.length pin_values in
+  let total = ref 0.0 in
+  for state = 0 to (1 lsl k) - 1 do
+    let p = ref 1.0 in
+    for i = 0 to k - 1 do
+      let bit = state land (1 lsl i) <> 0 in
+      let pi =
+        match pin_values.(i) with
+        | Logic.One -> 1.0
+        | Logic.Zero -> 0.0
+        | Logic.X -> 0.5
+      in
+      p := !p *. (if bit then pi else 1.0 -. pi)
+    done;
+    if !p > 0.0 then
+      total := !total +. (!p *. Techlib.Leakage_table.leakage_na cell ~state)
+  done;
+  !total
+
+(* All permutations of [0 .. n-1]; n <= 4 so at most 24. *)
+let permutations n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (perms rest))
+        xs
+  in
+  perms (List.init n (fun i -> i)) |> List.map Array.of_list
+
+let symmetric nd =
+  match nd.Circuit.kind with
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor -> true
+  | Gate.Input | Gate.Dff | Gate.Output | Gate.Buf | Gate.Not | Gate.Xor
+  | Gate.Xnor ->
+    false
+(* XOR/XNOR are symmetric too, but their cells are not in the library *)
+
+let optimize c ~values =
+  let reordered = ref 0 and gain = ref 0.0 in
+  Array.iter
+    (fun nd ->
+      let k = Array.length nd.Circuit.fanins in
+      if symmetric nd && k >= 2 then
+        match
+          Techlib.Cell.of_gate nd.Circuit.kind ~fanin:k
+        with
+        | None -> ()
+        | Some cell ->
+          let pin_values = Array.map (fun f -> values.(f)) nd.Circuit.fanins in
+          let current = expected_cell_leakage_na cell pin_values in
+          let best = ref None in
+          List.iter
+            (fun perm ->
+              let permuted = Array.map (fun j -> pin_values.(j)) perm in
+              let cost = expected_cell_leakage_na cell permuted in
+              match !best with
+              | Some (_, best_cost) when best_cost <= cost -> ()
+              | Some _ | None -> best := Some (perm, cost))
+            (permutations k);
+          (match !best with
+          | Some (perm, cost) when cost +. 1e-9 < current ->
+            Circuit.permute_fanins c nd.Circuit.id perm;
+            incr reordered;
+            gain := !gain +. (current -. cost)
+          | Some _ | None -> ()))
+    (Circuit.nodes c);
+  { gates_reordered = !reordered; expected_gain_na = !gain }

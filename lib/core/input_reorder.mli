@@ -1,0 +1,29 @@
+(** Gate input reordering for leakage (end of Section 4): the leakage
+    of a NAND/NOR cell depends on *which* pin carries which value
+    (e.g. NAND2 "01" = 73 nA vs "10" = 264 nA, Figure 2), while the
+    logic function of those cells is symmetric in their inputs. Given
+    the scan-mode assignment, permute each symmetric gate's pins to the
+    minimum-expected-leakage order; lines still toggling count as
+    one-half probability.
+
+    The permutation is applied in place ({!Netlist.Circuit.permute_fanins});
+    callers measure baselines on a {!Netlist.Circuit.copy} first. *)
+
+open Netlist
+
+type outcome = {
+  gates_reordered : int;
+  expected_gain_na : float;
+      (** summed expected per-gate leakage reduction in the scan state *)
+}
+
+val optimize : Circuit.t -> values:Logic.t array -> outcome
+(** [values] is the final propagated scan-mode assignment (three
+    valued). Only NAND/NOR/AND/OR gates with at least two fanins are
+    touched. *)
+
+val expected_cell_leakage_na :
+  Techlib.Cell.t -> Logic.t array -> float
+(** Expected table leakage of one cell under per-pin ternary values
+    ([X] = probability one-half); exposed for tests and the ablation
+    bench. *)

@@ -1,0 +1,66 @@
+open Netlist
+
+type outcome = {
+  values : Logic.t array;
+  candidates_tried : int;
+  expected_leakage_uw : float;
+}
+
+(* Expected scan-mode leakage of a fully propagated ternary assignment:
+   lines still X toggle with the chain, so they are sampled; the same
+   pre-drawn sample set scores every candidate. *)
+let expected_leakage c values samples =
+  let free =
+    Array.to_list (Circuit.sources c)
+    |> List.filter (fun id -> Logic.equal values.(id) Logic.X)
+  in
+  let n = Circuit.node_count c in
+  let bools = Array.make n false in
+  let score sample_rng =
+    for id = 0 to n - 1 do
+      bools.(id) <-
+        (match values.(id) with
+        | Logic.One -> true
+        | Logic.Zero | Logic.X -> false)
+    done;
+    List.iter (fun id -> bools.(id) <- Util.Rng.bool sample_rng) free;
+    Array.iter
+      (fun id ->
+        let nd = Circuit.node c id in
+        if not (Gate.is_source nd.kind) then
+          bools.(id) <-
+            Gate.eval_bool nd.kind (Array.map (fun f -> bools.(f)) nd.fanins))
+      (Circuit.topo_order c);
+    Power.Leakage.total_leakage_uw c bools
+  in
+  let total = ref 0.0 in
+  List.iter (fun seed -> total := !total +. score (Util.Rng.create seed)) samples;
+  !total /. float_of_int (List.length samples)
+
+let fill ?(candidates = 32) ?(inner_samples = 16) ~seed c ~values ~controlled =
+  let rng = Util.Rng.create seed in
+  let free_controlled =
+    List.filter (fun id -> Logic.equal values.(id) Logic.X) controlled
+  in
+  let inner_seeds = List.init (max 1 inner_samples) (fun i -> (seed * 7919) + i) in
+  let n_cands = if free_controlled = [] then 1 else max 1 candidates in
+  let best = ref None in
+  for _ = 1 to n_cands do
+    let trial = Array.copy values in
+    List.iter
+      (fun id -> trial.(id) <- Logic.of_bool (Util.Rng.bool rng))
+      free_controlled;
+    Sim.Ternary_sim.propagate c trial;
+    let cost = expected_leakage c trial inner_seeds in
+    match !best with
+    | Some (_, best_cost) when best_cost <= cost -> ()
+    | Some _ | None -> best := Some (trial, cost)
+  done;
+  match !best with
+  | None -> assert false
+  | Some (winner, cost) ->
+    {
+      values = winner;
+      candidates_tried = n_cands;
+      expected_leakage_uw = cost;
+    }

@@ -1,0 +1,27 @@
+(** Input vector control for the remaining don't-cares ([14], end of
+    Section 4): the controlled inputs FindControlledInputPattern left
+    unassigned are filled by trying a modest number of random
+    completions and keeping the one with the lowest expected scan-mode
+    leakage. The expectation is taken over the non-controlled
+    pseudo-inputs (which keep toggling during shift) with a fixed
+    inner sample set, so candidate scores are comparable. *)
+
+open Netlist
+
+type outcome = {
+  values : Logic.t array;
+      (** the input assignment with every controlled input definite *)
+  candidates_tried : int;
+  expected_leakage_uw : float;  (** score of the winning completion *)
+}
+
+val fill :
+  ?candidates:int ->
+  ?inner_samples:int ->
+  seed:int ->
+  Circuit.t ->
+  values:Logic.t array ->
+  controlled:int list ->
+  outcome
+(** Defaults: 32 candidate completions, 16 inner samples. Controlled
+    inputs already definite in [values] are preserved. *)

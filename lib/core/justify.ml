@@ -1,0 +1,122 @@
+open Netlist
+
+type direction =
+  | Leakage_directed of Power.Observability.t
+  | Structural
+
+type t = {
+  circuit : Circuit.t;
+  controllable : bool array;
+  direction : direction;
+  backtrack_limit : int;
+}
+
+let create ?(backtrack_limit = 50) c ~controllable ~direction =
+  let flags = Array.make (Circuit.node_count c) false in
+  List.iter
+    (fun id ->
+      if not (Gate.is_source (Circuit.node c id).Circuit.kind) then
+        invalid_arg "Justify.create: controllable node is not a source";
+      flags.(id) <- true)
+    controllable;
+  { circuit = c; controllable = flags; direction; backtrack_limit }
+
+(* Section 4's directive: to set a line to 1 prefer small (most
+   negative) leakage observability, to set it to 0 prefer large. *)
+let order_candidates t ~value candidates =
+  match t.direction with
+  | Structural ->
+    List.sort
+      (fun a b ->
+        compare (Circuit.level t.circuit a) (Circuit.level t.circuit b))
+      candidates
+  | Leakage_directed obs ->
+    let key id = Power.Observability.observability_na obs id in
+    let cmp a b =
+      match value with
+      | Logic.One | Logic.X -> compare (key a) (key b)
+      | Logic.Zero -> compare (key b) (key a)
+    in
+    List.sort cmp candidates
+
+(* Backtrace: find a controllable, still-unassigned source that can
+   contribute to driving [node] toward [v], descending only through
+   X-valued lines; candidate fanins at each gate are tried in the
+   direction-given order. *)
+let backtrace t work node v =
+  let c = t.circuit in
+  let visited = Hashtbl.create 32 in
+  let rec walk id v =
+    if Hashtbl.mem visited (id, v) then None
+    else begin
+      Hashtbl.replace visited (id, v) ();
+      let nd = Circuit.node c id in
+      if Gate.is_source nd.kind then
+        if t.controllable.(id) && Logic.equal work.(id) Logic.X then
+          Some (id, v)
+        else None
+      else begin
+        let v_inner = if Gate.inversion nd.kind then Logic.lnot v else v in
+        let xs =
+          Array.to_list nd.fanins
+          |> List.filter (fun f -> Logic.equal work.(f) Logic.X)
+        in
+        let ordered = order_candidates t ~value:v_inner xs in
+        let rec first_ok = function
+          | [] -> None
+          | f :: rest ->
+            (match walk f v_inner with
+            | Some hit -> Some hit
+            | None -> first_ok rest)
+        in
+        first_ok ordered
+      end
+    end
+  in
+  walk node v
+
+let justify t ~values node v =
+  let c = t.circuit in
+  let work = Array.copy values in
+  Sim.Ternary_sim.propagate c work;
+  if Logic.equal work.(node) v then Some work
+  else if not (Logic.equal work.(node) Logic.X) then None
+  else begin
+    let stack = ref [] in
+    let backtracks = ref 0 in
+    let rec unwind () =
+      match !stack with
+      | [] -> false
+      | (src, value, flipped) :: rest ->
+        if flipped then begin
+          work.(src) <- Logic.X;
+          stack := rest;
+          unwind ()
+        end
+        else begin
+          incr backtracks;
+          if !backtracks > t.backtrack_limit then false
+          else begin
+            let value' = Logic.lnot value in
+            work.(src) <- value';
+            stack := (src, value', true) :: rest;
+            Sim.Ternary_sim.propagate c work;
+            true
+          end
+        end
+    in
+    let rec search () =
+      if Logic.equal work.(node) v then Some work
+      else if not (Logic.equal work.(node) Logic.X) then
+        if unwind () then search () else None
+      else
+        match backtrace t work node v with
+        | None -> if unwind () then search () else None
+        | Some (src, value) ->
+          work.(src) <- value;
+          stack := (src, value, false) :: !stack;
+          Sim.Ternary_sim.propagate c work;
+          search ()
+    in
+    search ()
+  end

@@ -1,0 +1,41 @@
+open Netlist
+
+type strategy =
+  | Naive
+  | Slack_based
+
+type t = {
+  muxable : int list;
+  blocked : int list;
+  critical_delay_ps : float;
+  mux_penalty_ps : float;
+}
+
+let select ?(strategy = Slack_based) c =
+  let timing = Sta.analyze c in
+  let base = Sta.critical_delay timing in
+  let penalty = Techlib.Cell.mux2_delay_penalty in
+  let eps = 1e-6 in
+  let fits dff =
+    match strategy with
+    | Slack_based -> Sta.fits_without_slowdown timing ~source:dff ~penalty
+    | Naive ->
+      Sta.delay_with_penalty c ~penalties:[ (dff, penalty) ] <= base +. eps
+  in
+  let muxable, blocked =
+    Array.to_list (Circuit.dffs c) |> List.partition fits
+  in
+  { muxable; blocked; critical_delay_ps = base; mux_penalty_ps = penalty }
+
+let muxable_count t = List.length t.muxable
+
+let pp c fmt t =
+  let names ids =
+    ids |> List.map (fun id -> (Circuit.node c id).Circuit.name)
+    |> String.concat " "
+  in
+  Format.fprintf fmt
+    "critical=%.1f ps, mux penalty=%.1f ps, muxable %d of %d [%s], blocked [%s]"
+    t.critical_delay_ps t.mux_penalty_ps (List.length t.muxable)
+    (List.length t.muxable + List.length t.blocked)
+    (names t.muxable) (names t.blocked)

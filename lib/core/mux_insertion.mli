@@ -1,0 +1,31 @@
+(** AddMUX (Section 4, step 1): select the scan-cell outputs that can
+    take a blocking multiplexer without stretching the circuit's
+    critical path.
+
+    The paper's procedure inserts a MUX after each pseudo-input in turn
+    and re-extracts the critical path delay, removing the MUX when the
+    delay grows. [Naive] reproduces that; [Slack_based] answers the
+    same question from one timing analysis (penalty <= slack at the
+    scan-cell output), which the test suite proves equivalent and the
+    ablation bench compares. *)
+
+open Netlist
+
+type strategy =
+  | Naive
+  | Slack_based
+
+type t = {
+  muxable : int list;  (** dff node ids accepting a mux, chain order *)
+  blocked : int list;  (** dff node ids on critical path(s) *)
+  critical_delay_ps : float;
+  mux_penalty_ps : float;
+}
+
+val select : ?strategy:strategy -> Circuit.t -> t
+(** Default strategy: [Slack_based].
+    @raise Invalid_argument on an unmapped circuit. *)
+
+val muxable_count : t -> int
+
+val pp : Circuit.t -> Format.formatter -> t -> unit

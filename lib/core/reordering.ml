@@ -1,0 +1,124 @@
+open Netlist
+
+let hamming a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Reordering.hamming: length mismatch";
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> b.(i) then incr d
+  done;
+  !d
+
+let weight v =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v
+
+let reorder_vectors vectors =
+  match vectors with
+  | [] | [ _ ] -> vectors
+  | _ ->
+    let arr = Array.of_list vectors in
+    let n = Array.length arr in
+    let used = Array.make n false in
+    (* start from the lightest vector (closest to the all-zero reset
+       chain state) *)
+    let start = ref 0 in
+    for i = 1 to n - 1 do
+      if weight arr.(i) < weight arr.(!start) then start := i
+    done;
+    used.(!start) <- true;
+    let order = ref [ !start ] in
+    let current = ref !start in
+    for _ = 2 to n do
+      let best = ref (-1) and best_d = ref max_int in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let d = hamming arr.(!current) arr.(i) in
+          if d < !best_d then begin
+            best := i;
+            best_d := d
+          end
+        end
+      done;
+      used.(!best) <- true;
+      order := !best :: !order;
+      current := !best
+    done;
+    List.rev_map (fun i -> arr.(i)) !order
+
+let total_adjacent_distance vectors =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc + hamming a b) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0 vectors
+
+(* Column of flip-flop [k] (dffs order) across the test set. *)
+let state_columns c vectors =
+  let n_pi = Array.length (Circuit.inputs c) in
+  let n_ff = Array.length (Circuit.dffs c) in
+  Array.init n_ff (fun k ->
+      Array.of_list (List.map (fun v -> v.(n_pi + k)) vectors))
+
+let reorder_chain c vectors =
+  let dffs = Circuit.dffs c in
+  let n_ff = Array.length dffs in
+  if n_ff < 2 || vectors = [] then Scan.Scan_chain.natural c
+  else begin
+    let cols = state_columns c vectors in
+    let disagree i j = hamming cols.(i) cols.(j) in
+    (* greedy chaining: start from the column pair with the fewest
+       disagreements, then repeatedly extend the nearer end *)
+    let used = Array.make n_ff false in
+    let best_i = ref 0 and best_j = ref 1 and best_d = ref max_int in
+    for i = 0 to n_ff - 1 do
+      for j = i + 1 to n_ff - 1 do
+        let d = disagree i j in
+        if d < !best_d then begin
+          best_i := i;
+          best_j := j;
+          best_d := d
+        end
+      done
+    done;
+    used.(!best_i) <- true;
+    used.(!best_j) <- true;
+    (* the chain as a deque of column indices *)
+    let front = ref [ !best_i ] and back = ref [ !best_j ] in
+    for _ = 3 to n_ff do
+      let head = List.hd !front and tail = List.hd !back in
+      let best = ref (-1) and best_d = ref max_int and at_front = ref true in
+      for i = 0 to n_ff - 1 do
+        if not used.(i) then begin
+          let df = disagree head i and db = disagree tail i in
+          if df < !best_d then begin
+            best := i;
+            best_d := df;
+            at_front := true
+          end;
+          if db < !best_d then begin
+            best := i;
+            best_d := db;
+            at_front := false
+          end
+        end
+      done;
+      used.(!best) <- true;
+      if !at_front then front := !best :: !front else back := !best :: !back
+    done;
+    let order = List.rev_append !back (List.rev !front) in
+    Scan.Scan_chain.of_order c (Array.of_list (List.map (fun k -> dffs.(k)) order))
+  end
+
+let chain_column_conflicts c ~chain vectors =
+  let cols = state_columns c vectors in
+  let dffs = Circuit.dffs c in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun k id -> Hashtbl.replace index_of id k) dffs;
+  let cells = Scan.Scan_chain.cells chain in
+  let total = ref 0 in
+  for p = 0 to Array.length cells - 2 do
+    let a = Hashtbl.find index_of cells.(p)
+    and b = Hashtbl.find index_of cells.(p + 1) in
+    total := !total + hamming cols.(a) cols.(b)
+  done;
+  !total

@@ -1,0 +1,100 @@
+type row = {
+  name : string;
+  trad_dyn : float;
+  trad_static : float;
+  ic_dyn : float;
+  ic_static : float;
+  prop_dyn : float;
+  prop_static : float;
+}
+
+let of_comparison (c : Flow.comparison) =
+  {
+    name = c.Flow.name;
+    trad_dyn = c.Flow.traditional.Flow.dynamic_per_hz_uw;
+    trad_static = c.Flow.traditional.Flow.static_uw;
+    ic_dyn = c.Flow.input_control.Flow.dynamic_per_hz_uw;
+    ic_static = c.Flow.input_control.Flow.static_uw;
+    prop_dyn = c.Flow.proposed.Flow.dynamic_per_hz_uw;
+    prop_static = c.Flow.proposed.Flow.static_uw;
+  }
+
+let dyn_improvement_vs_traditional r = Flow.improvement r.trad_dyn r.prop_dyn
+let static_improvement_vs_traditional r =
+  Flow.improvement r.trad_static r.prop_static
+
+let dyn_improvement_vs_input_control r = Flow.improvement r.ic_dyn r.prop_dyn
+let static_improvement_vs_input_control r =
+  Flow.improvement r.ic_static r.prop_static
+
+(* Published Table I (DATE 2005): dynamic /f in uW/Hz, static in uW. *)
+let paper_table1 =
+  [
+    { name = "s344"; trad_dyn = 5.88e-8; trad_static = 27.99;
+      ic_dyn = 5.72e-8; ic_static = 27.50; prop_dyn = 3.24e-8;
+      prop_static = 23.89 };
+    { name = "s382"; trad_dyn = 6.43e-8; trad_static = 27.58;
+      ic_dyn = 5.51e-8; ic_static = 26.69; prop_dyn = 2.38e-8;
+      prop_static = 24.42 };
+    { name = "s444"; trad_dyn = 8.00e-8; trad_static = 33.72;
+      ic_dyn = 6.92e-8; ic_static = 33.30; prop_dyn = 2.44e-8;
+      prop_static = 27.99 };
+    { name = "s510"; trad_dyn = 8.46e-8; trad_static = 47.93;
+      ic_dyn = 8.18e-8; ic_static = 47.50; prop_dyn = 8.22e-8;
+      prop_static = 45.96 };
+    { name = "s641"; trad_dyn = 5.69e-8; trad_static = 59.07;
+      ic_dyn = 1.77e-8; ic_static = 56.97; prop_dyn = 1.78e-8;
+      prop_static = 48.97 };
+    { name = "s713"; trad_dyn = 6.30e-8; trad_static = 66.15;
+      ic_dyn = 1.85e-8; ic_static = 64.90; prop_dyn = 1.82e-8;
+      prop_static = 52.10 };
+    { name = "s1196"; trad_dyn = 3.10e-8; trad_static = 115.54;
+      ic_dyn = 3.06e-8; ic_static = 117.75; prop_dyn = 2.52e-8;
+      prop_static = 95.78 };
+    { name = "s1238"; trad_dyn = 3.19e-8; trad_static = 121.56;
+      ic_dyn = 3.39e-8; ic_static = 124.75; prop_dyn = 2.59e-8;
+      prop_static = 96.38 };
+    { name = "s1423"; trad_dyn = 2.24e-7; trad_static = 128.22;
+      ic_dyn = 1.93e-7; ic_static = 130.23; prop_dyn = 5.43e-8;
+      prop_static = 117.0 };
+    { name = "s1494"; trad_dyn = 3.56e-7; trad_static = 177.52;
+      ic_dyn = 3.48e-7; ic_static = 179.86; prop_dyn = 3.52e-7;
+      prop_static = 164.87 };
+    { name = "s5378"; trad_dyn = 8.90e-7; trad_static = 327.52;
+      ic_dyn = 1.29e-8; ic_static = 332.02; prop_dyn = 1.17e-8;
+      prop_static = 315.0 };
+    { name = "s9234"; trad_dyn = 1.50e-6; trad_static = 819.98;
+      ic_dyn = 1.68e-8; ic_static = 854.52; prop_dyn = 1.57e-8;
+      prop_static = 772.36 };
+  ]
+
+let paper_row name = List.find_opt (fun r -> r.name = name) paper_table1
+
+let pp_header fmt () =
+  Format.fprintf fmt
+    "%-8s | %12s %10s | %12s %10s | %12s %10s | %8s %8s | %8s %8s@."
+    "circuit" "trad dyn/f" "trad stat" "IC dyn/f" "IC stat" "prop dyn/f"
+    "prop stat" "dyn%" "stat%" "dynIC%" "statIC%"
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "%-8s | %12.3e %10.2f | %12.3e %10.2f | %12.3e %10.2f | %8.2f %8.2f | %8.2f %8.2f@."
+    r.name r.trad_dyn r.trad_static r.ic_dyn r.ic_static r.prop_dyn
+    r.prop_static
+    (dyn_improvement_vs_traditional r)
+    (static_improvement_vs_traditional r)
+    (dyn_improvement_vs_input_control r)
+    (static_improvement_vs_input_control r)
+
+let pp_table fmt rows =
+  pp_header fmt ();
+  List.iter (pp_row fmt) rows
+
+let pp_vs_paper fmt r =
+  Format.fprintf fmt "measured: ";
+  pp_row fmt r;
+  match paper_row r.name with
+  | Some p ->
+    Format.fprintf fmt "paper:    ";
+    pp_row fmt p
+  | None -> Format.fprintf fmt "paper:    (not in Table I)@."

@@ -1,0 +1,39 @@
+(** Table I-style reporting: one row per circuit with dynamic (/f) and
+    static power for the three structures plus the improvement
+    percentages, and the paper's published numbers for side-by-side
+    shape comparison. *)
+
+type row = {
+  name : string;
+  trad_dyn : float;  (** uW/Hz *)
+  trad_static : float;  (** uW *)
+  ic_dyn : float;
+  ic_static : float;
+  prop_dyn : float;
+  prop_static : float;
+}
+
+val of_comparison : Flow.comparison -> row
+
+val dyn_improvement_vs_traditional : row -> float
+
+val static_improvement_vs_traditional : row -> float
+
+val dyn_improvement_vs_input_control : row -> float
+
+val static_improvement_vs_input_control : row -> float
+
+val paper_table1 : row list
+(** The twelve published rows of the paper's Table I. *)
+
+val paper_row : string -> row option
+
+val pp_header : Format.formatter -> unit -> unit
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp_table : Format.formatter -> row list -> unit
+
+val pp_vs_paper : Format.formatter -> row -> unit
+(** Measured row followed by the published row (when the circuit is in
+    Table I) with both improvement columns. *)

@@ -1,0 +1,68 @@
+open Netlist
+
+type t = {
+  tns : bool array;
+  tgs : int list;
+}
+
+let compute c ~values ~seeds ~failed =
+  let n = Circuit.node_count c in
+  let tns = Array.make n false in
+  List.iter (fun id -> tns.(id) <- true) seeds;
+  let tgs = ref [] in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if failed.(id) then tns.(id) <- true
+      else if
+        Gate.is_logic nd.kind && not (Logic.equal values.(id) Logic.X)
+      then
+        (* a definite value is pinned by the controlled inputs alone:
+           the line cannot toggle whatever the chain does *)
+        ()
+      else
+        match nd.kind with
+        | Gate.Input | Gate.Dff -> ()
+        | Gate.Output | Gate.Buf | Gate.Not | Gate.Xor | Gate.Xnor ->
+          (* single-input and parity gates always pass transitions *)
+          if Array.exists (fun f -> tns.(f)) nd.fanins then tns.(id) <- true
+        | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+          if Array.exists (fun f -> tns.(f)) nd.fanins then begin
+            let cv =
+              match Gate.controlling_value nd.kind with
+              | Some v -> v
+              | None -> assert false
+            in
+            let blocked = ref false and all_noncontrolling = ref true in
+            Array.iter
+              (fun f ->
+                if not tns.(f) then begin
+                  if Logic.equal values.(f) cv then blocked := true;
+                  if not (Logic.equal values.(f) (Logic.lnot cv)) then
+                    all_noncontrolling := false
+                end)
+              nd.fanins;
+            if !blocked then ()
+            else if !all_noncontrolling then tns.(id) <- true
+            else if Gate.is_logic nd.kind then tgs := id :: !tgs
+          end)
+    (Circuit.topo_order c);
+  { tns; tgs = List.rev !tgs }
+
+let pick_largest_load c tgs =
+  match tgs with
+  | [] -> None
+  | first :: _ ->
+    let best = ref first and best_load = ref (Techmap.Loads.node_load c first) in
+    List.iter
+      (fun id ->
+        let l = Techmap.Loads.node_load c id in
+        if l > !best_load then begin
+          best := id;
+          best_load := l
+        end)
+      tgs;
+    Some !best
+
+let transition_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.tns

@@ -1,0 +1,36 @@
+(** Transition Node Set / Transition Gate Set bookkeeping (Section 4).
+
+    A {e transition node} (tn) is a line that still toggles while the
+    scan chain shifts under the current partial assignment of the
+    controlled inputs; the gates fed by transition nodes form the
+    {e transition gate set} (TGS) — the candidates the algorithm still
+    has to block. Following the paper's update rules:
+
+    - the non-multiplexed pseudo-inputs seed the TNS;
+    - NOT / BUF / XOR / XNOR targets always propagate a transition;
+    - a target with some other input at its controlling value is
+      blocked;
+    - a target whose other inputs all carry definite non-controlling
+      values propagates;
+    - otherwise the target has usable don't-care inputs and stays in
+      the TGS;
+    - a gate the search failed to block is forced into the TNS so its
+      fanout cone is examined ([~failed]). *)
+
+open Netlist
+
+type t = {
+  tns : bool array;  (** per node id: carries scan-shift transitions *)
+  tgs : int list;  (** blockable transition gates *)
+}
+
+val compute :
+  Circuit.t -> values:Logic.t array -> seeds:int list -> failed:bool array -> t
+(** [values] is the current three-valued assignment (propagated);
+    [seeds] the transition sources (non-muxed pseudo-inputs). *)
+
+val pick_largest_load : Circuit.t -> int list -> int option
+(** The paper's mc_tg choice: the TGS gate with the largest output
+    capacitance. *)
+
+val transition_count : t -> int

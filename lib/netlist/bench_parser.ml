@@ -1,0 +1,174 @@
+exception Parse_error of int * string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_assign of string * string * string list (* lhs, kind, args *)
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '[' | ']' | '$' | '-' ->
+    true
+  | _ -> false
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\r') do incr i done;
+  let j = ref (n - 1) in
+  while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t' || s.[!j] = '\r') do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* "KIND(a, b, c)" -> (KIND, [a; b; c]) *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected '(' in %S" s
+  | Some lp ->
+    if s.[String.length s - 1] <> ')' then fail lineno "expected ')' in %S" s;
+    let kind = strip (String.sub s 0 lp) in
+    let args_str = String.sub s (lp + 1) (String.length s - lp - 2) in
+    let args =
+      String.split_on_char ',' args_str
+      |> List.map strip
+      |> List.filter (fun a -> a <> "")
+    in
+    List.iter
+      (fun a ->
+        String.iter
+          (fun c ->
+            if not (is_ident_char c) then
+              fail lineno "invalid character %C in signal name %S" c a)
+          a)
+      args;
+    (kind, args)
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then None
+  else
+    match String.index_opt line '=' with
+    | Some eq ->
+      let lhs = strip (String.sub line 0 eq) in
+      let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      if lhs = "" then fail lineno "empty left-hand side";
+      let kind, args = parse_call lineno rhs in
+      Some (St_assign (lhs, kind, args))
+    | None ->
+      let kind, args = parse_call lineno line in
+      let arg =
+        match args with
+        | [ a ] -> a
+        | _ -> fail lineno "%s takes exactly one signal" kind
+      in
+      (match String.uppercase_ascii kind with
+      | "INPUT" -> Some (St_input arg)
+      | "OUTPUT" -> Some (St_output arg)
+      | other -> fail lineno "unknown directive %S" other)
+
+let build ?(name = "bench") statements =
+  let b = Circuit.Builder.create ~name () in
+  let ids = Hashtbl.create 256 in
+  (* Pass 1: allocate an id for every defined signal, in file order, so
+     that forward references in pass 2 resolve to the right node. *)
+  let predicted = Hashtbl.create 256 in
+  let next = ref 0 in
+  let predict lineno nm =
+    if Hashtbl.mem predicted nm then fail lineno "signal %S defined twice" nm;
+    Hashtbl.add predicted nm !next;
+    incr next
+  in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_input nm -> predict lineno nm
+      | St_assign (lhs, _, _) -> predict lineno lhs
+      | St_output _ -> ())
+    statements;
+  let resolve lineno nm =
+    match Hashtbl.find_opt predicted nm with
+    | Some id -> id
+    | None -> fail lineno "undefined signal %S" nm
+  in
+  (* Pass 2: create the nodes. Builder ids follow creation order, which
+     matches the prediction because outputs are deferred to pass 3. *)
+  let dff_pending = ref [] in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_input nm ->
+        let id = Circuit.Builder.add_input b nm in
+        Hashtbl.add ids nm id
+      | St_assign (lhs, kind_str, args) ->
+        let kind =
+          try Gate.of_string kind_str
+          with Invalid_argument _ -> fail lineno "unknown gate kind %S" kind_str
+        in
+        (match kind with
+        | Gate.Dff ->
+          let d =
+            match args with
+            | [ d ] -> d
+            | _ -> fail lineno "DFF %S takes exactly one input" lhs
+          in
+          let id = Circuit.Builder.declare_dff b lhs in
+          Hashtbl.add ids lhs id;
+          dff_pending := (lineno, id, d) :: !dff_pending
+        | Gate.Input | Gate.Output ->
+          fail lineno "%s is not valid on the right-hand side" kind_str
+        | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+        | Gate.Xor | Gate.Xnor ->
+          let fanins = List.map (resolve lineno) args in
+          let id =
+            try Circuit.Builder.add_gate b kind lhs fanins
+            with Invalid_argument msg -> fail lineno "%s" msg
+          in
+          Hashtbl.add ids lhs id)
+      | St_output _ -> ())
+    statements;
+  List.iter
+    (fun (lineno, id, d) -> Circuit.Builder.connect_dff b id ~d:(resolve lineno d))
+    !dff_pending;
+  (* Pass 3: primary-output markers; a signal may legitimately drive
+     several outputs, so marker names are uniquified. *)
+  let po_seen = Hashtbl.create 16 in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_output nm ->
+        let k =
+          match Hashtbl.find_opt po_seen nm with
+          | Some k -> k + 1
+          | None -> 0
+        in
+        Hashtbl.replace po_seen nm k;
+        let marker = if k = 0 then nm ^ "$po" else Printf.sprintf "%s$po%d" nm k in
+        ignore (Circuit.Builder.add_output b marker (resolve lineno nm))
+      | St_input _ | St_assign _ -> ())
+    statements;
+  try Circuit.Builder.build b
+  with Invalid_argument msg -> fail 0 "%s" msg
+
+let parse_string ?name text =
+  let statements = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line (i + 1) line with
+      | Some st -> statements := (i + 1, st) :: !statements
+      | None -> ())
+    (String.split_on_char '\n' text);
+  build ?name (List.rev !statements)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text

@@ -1,0 +1,20 @@
+(** Parser for the ISCAS89 [.bench] netlist format.
+
+    Accepted syntax (case-insensitive keywords, [#] comments):
+    {v
+    INPUT(G0)
+    OUTPUT(G17)
+    G5  = DFF(G10)
+    G10 = NAND(G0, G5)
+    v} *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : ?name:string -> string -> Circuit.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Circuit.t
+(** Circuit name defaults to the file basename without extension.
+    @raise Parse_error on malformed input
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,33 @@
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.name c));
+  let node_name i = (Circuit.node c i).name in
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (node_name i)))
+    (Circuit.inputs c);
+  Array.iter
+    (fun i ->
+      let nd = Circuit.node c i in
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (node_name nd.fanins.(0))))
+    (Circuit.outputs c);
+  Array.iter
+    (fun i ->
+      let nd = Circuit.node c i in
+      match nd.kind with
+      | Gate.Input | Gate.Output -> ()
+      | Gate.Dff | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        let args =
+          nd.fanins |> Array.to_list |> List.map node_name
+          |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" nd.name (Gate.to_string nd.kind) args))
+    (Circuit.topo_order c);
+  Buffer.contents buf
+
+let to_file c path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

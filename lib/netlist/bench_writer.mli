@@ -1,0 +1,6 @@
+(** Emitter for the ISCAS89 [.bench] netlist format; inverse of
+    {!Bench_parser} up to formatting. *)
+
+val to_string : Circuit.t -> string
+
+val to_file : Circuit.t -> string -> unit

@@ -1,0 +1,274 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  mutable fanins : int array;
+  mutable fanouts : int array;
+}
+
+type t = {
+  name : string;
+  nodes : node array;
+  inputs : int array;
+  outputs : int array;
+  dffs : int array;
+  sources : int array;
+  topo : int array;
+  levels : int array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let name c = c.name
+let node_count c = Array.length c.nodes
+let node c i = c.nodes.(i)
+let nodes c = c.nodes
+let inputs c = c.inputs
+let outputs c = c.outputs
+let dffs c = c.dffs
+let sources c = c.sources
+let topo_order c = c.topo
+let level c i = c.levels.(i)
+
+let depth c = Array.fold_left max 0 c.levels
+
+let gate_count c =
+  let n = ref 0 in
+  Array.iter (fun nd -> if Gate.is_logic nd.kind then incr n) c.nodes;
+  !n
+
+let find c nm = Hashtbl.find c.by_name nm
+let find_opt c nm = Hashtbl.find_opt c.by_name nm
+
+let symmetric_kind = function
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor -> true
+  | Gate.Input | Gate.Dff | Gate.Output | Gate.Buf | Gate.Not -> false
+
+let permute_fanins c id perm =
+  let nd = c.nodes.(id) in
+  if not (symmetric_kind nd.kind) then
+    invalid_arg "Circuit.permute_fanins: gate is not symmetric";
+  let n = Array.length nd.fanins in
+  if Array.length perm <> n then
+    invalid_arg "Circuit.permute_fanins: wrong permutation length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n || seen.(j) then
+        invalid_arg "Circuit.permute_fanins: not a permutation";
+      seen.(j) <- true)
+    perm;
+  nd.fanins <- Array.map (fun j -> nd.fanins.(j)) perm
+
+let copy c =
+  {
+    c with
+    nodes =
+      Array.map
+        (fun nd ->
+          { nd with fanins = Array.copy nd.fanins; fanouts = Array.copy nd.fanouts })
+        c.nodes;
+  }
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_dffs : int;
+  n_gates : int;
+  n_nodes : int;
+  max_level : int;
+  total_fanin : int;
+}
+
+let stats c =
+  let total_fanin =
+    Array.fold_left (fun acc nd -> acc + Array.length nd.fanins) 0 c.nodes
+  in
+  {
+    n_inputs = Array.length c.inputs;
+    n_outputs = Array.length c.outputs;
+    n_dffs = Array.length c.dffs;
+    n_gates = gate_count c;
+    n_nodes = node_count c;
+    max_level = depth c;
+    total_fanin;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "inputs=%d outputs=%d dffs=%d gates=%d nodes=%d depth=%d fanin=%d"
+    s.n_inputs s.n_outputs s.n_dffs s.n_gates s.n_nodes s.max_level
+    s.total_fanin
+
+module Builder = struct
+  type proto = {
+    p_name : string;
+    p_kind : Gate.kind;
+    mutable p_fanins : int list;
+    mutable p_connected : bool;
+  }
+
+  type builder = {
+    b_name : string;
+    mutable protos : proto list; (* reversed *)
+    by_id : (int, proto) Hashtbl.t;
+    mutable count : int;
+    names : (string, int) Hashtbl.t;
+  }
+
+  let create ?(name = "circuit") () =
+    {
+      b_name = name;
+      protos = [];
+      by_id = Hashtbl.create 64;
+      count = 0;
+      names = Hashtbl.create 64;
+    }
+
+  let push b proto =
+    if Hashtbl.mem b.names proto.p_name then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder: duplicate name %S" proto.p_name);
+    let id = b.count in
+    Hashtbl.add b.names proto.p_name id;
+    Hashtbl.add b.by_id id proto;
+    b.protos <- proto :: b.protos;
+    b.count <- b.count + 1;
+    id
+
+  let add_input b nm =
+    push b
+      { p_name = nm; p_kind = Gate.Input; p_fanins = []; p_connected = true }
+
+  let add_gate b kind nm fanins =
+    if not (Gate.is_logic kind) then
+      invalid_arg "Circuit.Builder.add_gate: not a logic gate";
+    let n = List.length fanins in
+    if n < Gate.min_fanin kind then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder.add_gate: %s %S with %d fanins"
+           (Gate.to_string kind) nm n);
+    (match Gate.max_fanin kind with
+    | Some m when n > m ->
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder.add_gate: %s %S with %d fanins"
+           (Gate.to_string kind) nm n)
+    | Some _ | None -> ());
+    push b { p_name = nm; p_kind = kind; p_fanins = fanins; p_connected = true }
+
+  let add_output b nm src =
+    push b
+      {
+        p_name = nm;
+        p_kind = Gate.Output;
+        p_fanins = [ src ];
+        p_connected = true;
+      }
+
+  let declare_dff b nm =
+    push b { p_name = nm; p_kind = Gate.Dff; p_fanins = []; p_connected = false }
+
+  let connect_dff b id ~d =
+    let proto =
+      match Hashtbl.find_opt b.by_id id with
+      | Some p -> p
+      | None -> invalid_arg "Circuit.Builder.connect_dff: unknown id"
+    in
+    if not (Gate.equal_kind proto.p_kind Gate.Dff) then
+      invalid_arg "Circuit.Builder.connect_dff: not a flip-flop";
+    if proto.p_connected then
+      invalid_arg "Circuit.Builder.connect_dff: already connected";
+    proto.p_fanins <- [ d ];
+    proto.p_connected <- true
+
+  (* Combinational topological sort by Kahn's algorithm. Input and Dff
+     nodes are sources; the Dff D edge is sequential and ignored. *)
+  let topo_sort nodes =
+    let n = Array.length nodes in
+    let indeg = Array.make n 0 in
+    Array.iter
+      (fun nd ->
+        if not (Gate.is_source nd.kind) then
+          indeg.(nd.id) <- Array.length nd.fanins)
+      nodes;
+    let order = Array.make n (-1) in
+    let pos = ref 0 in
+    let queue = Queue.create () in
+    Array.iter (fun nd -> if indeg.(nd.id) = 0 then Queue.add nd.id queue) nodes;
+    while not (Queue.is_empty queue) do
+      let id = Queue.take queue in
+      order.(!pos) <- id;
+      incr pos;
+      Array.iter
+        (fun succ ->
+          if not (Gate.is_source nodes.(succ).kind) then begin
+            indeg.(succ) <- indeg.(succ) - 1;
+            if indeg.(succ) = 0 then Queue.add succ queue
+          end)
+        nodes.(id).fanouts
+    done;
+    if !pos <> n then invalid_arg "Circuit.Builder.build: combinational cycle";
+    order
+
+  let build b =
+    let protos = Array.of_list (List.rev b.protos) in
+    let n = Array.length protos in
+    let nodes =
+      Array.init n (fun i ->
+          let p = protos.(i) in
+          if not p.p_connected then
+            invalid_arg
+              (Printf.sprintf "Circuit.Builder.build: dangling DFF %S" p.p_name);
+          List.iter
+            (fun f ->
+              if f < 0 || f >= n then
+                invalid_arg "Circuit.Builder.build: fanin out of range")
+            p.p_fanins;
+          {
+            id = i;
+            name = p.p_name;
+            kind = p.p_kind;
+            fanins = Array.of_list p.p_fanins;
+            fanouts = [||];
+          })
+    in
+    let fanout_lists = Array.make n [] in
+    Array.iter
+      (fun nd ->
+        Array.iter (fun f -> fanout_lists.(f) <- nd.id :: fanout_lists.(f))
+        nd.fanins)
+      nodes;
+    Array.iter
+      (fun nd -> nd.fanouts <- Array.of_list (List.rev fanout_lists.(nd.id)))
+      nodes;
+    let topo = topo_sort nodes in
+    let levels = Array.make n 0 in
+    Array.iter
+      (fun id ->
+        let nd = nodes.(id) in
+        if not (Gate.is_source nd.kind) then begin
+          let m = ref 0 in
+          Array.iter (fun f -> m := max !m levels.(f)) nd.fanins;
+          levels.(id) <- !m + 1
+        end)
+      topo;
+    let collect kind =
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        if Gate.equal_kind nodes.(i).kind kind then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let inputs = collect Gate.Input in
+    let dffs = collect Gate.Dff in
+    {
+      name = b.b_name;
+      nodes;
+      inputs;
+      outputs = collect Gate.Output;
+      dffs;
+      sources = Array.append inputs dffs;
+      topo;
+      levels;
+      by_name = Hashtbl.copy b.names;
+    }
+end

@@ -1,0 +1,114 @@
+(** Gate-level netlist IR.
+
+    A circuit is an arena of nodes indexed by dense integer ids. D
+    flip-flop outputs act as pseudo-inputs of the combinational core:
+    the topological order treats [Input] and [Dff] nodes as sources and
+    never traverses the sequential D edge, so all combinational
+    algorithms (simulation, STA, ATPG, the transition-blocking search)
+    can walk [topo_order] directly. *)
+
+type node = private {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  mutable fanins : int array;
+  mutable fanouts : int array;
+}
+
+type t
+
+val name : t -> string
+
+val node_count : t -> int
+
+val node : t -> int -> node
+
+val nodes : t -> node array
+
+val inputs : t -> int array
+(** Primary-input node ids. *)
+
+val outputs : t -> int array
+(** Primary-output marker node ids (each has exactly one fanin). *)
+
+val dffs : t -> int array
+(** Flip-flop node ids; their outputs are the pseudo-inputs. *)
+
+val sources : t -> int array
+(** [inputs] followed by [dffs]: every free value of the combinational
+    core, in a stable order. *)
+
+val gate_count : t -> int
+(** Number of combinational logic gates (excludes Input/Dff/Output). *)
+
+val topo_order : t -> int array
+(** Every node id in combinational topological order: sources first,
+    then logic gates and output markers, each after all its fanins. *)
+
+val level : t -> int -> int
+(** Combinational level: 0 for sources, [1 + max fanin level] otherwise. *)
+
+val depth : t -> int
+(** Maximum level over all nodes. *)
+
+val find : t -> string -> int
+(** Node id by name.
+    @raise Not_found if absent. *)
+
+val find_opt : t -> string -> int option
+
+val permute_fanins : t -> int -> int array -> unit
+(** [permute_fanins c id perm] reorders the fanins of gate [id] so that
+    new position [i] holds the previous fanin [perm.(i)]. Only allowed
+    on symmetric gates (AND/NAND/OR/NOR/XOR/XNOR) since it must not
+    change the logic function.
+    @raise Invalid_argument if [perm] is not a permutation or the gate
+    is not symmetric. *)
+
+val copy : t -> t
+(** Independent copy: [permute_fanins] on the copy leaves the original
+    untouched. *)
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_dffs : int;
+  n_gates : int;
+  n_nodes : int;
+  max_level : int;
+  total_fanin : int;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Imperative construction API. Flip-flops may be declared before
+    their D input exists (sequential feedback) and connected later;
+    {!Builder.build} checks that every flip-flop was connected, that
+    arities are respected, that names are unique and that the
+    combinational core is acyclic. *)
+module Builder : sig
+  type builder
+
+  val create : ?name:string -> unit -> builder
+
+  val add_input : builder -> string -> int
+
+  val add_gate : builder -> Gate.kind -> string -> int list -> int
+  (** @raise Invalid_argument on arity violation or non-logic kind. *)
+
+  val add_output : builder -> string -> int -> int
+  (** [add_output b name src] marks [src] as driving primary output
+      [name]; returns the id of the output marker node. *)
+
+  val declare_dff : builder -> string -> int
+  (** Returns the flip-flop node id; its output may be used as a fanin
+      immediately. *)
+
+  val connect_dff : builder -> int -> d:int -> unit
+
+  val build : builder -> t
+  (** @raise Invalid_argument on dangling flip-flops, duplicate names
+      or a combinational cycle. *)
+end

@@ -1,0 +1,55 @@
+let shape nd =
+  match nd.Circuit.kind with
+  | Gate.Input -> "triangle"
+  | Gate.Dff -> "box"
+  | Gate.Output -> "invhouse"
+  | Gate.Buf | Gate.Not -> "circle"
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    "ellipse"
+
+let to_string ?(highlight = []) c =
+  let buf = Buffer.create 4096 in
+  let hi = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace hi id ()) highlight;
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Circuit.name c));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
+  Array.iter
+    (fun nd ->
+      let color =
+        if Hashtbl.mem hi nd.Circuit.id then ", color=red, fontcolor=red"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s\", shape=%s%s];\n"
+           nd.Circuit.id nd.Circuit.name
+           (Gate.to_string nd.Circuit.kind)
+           (shape nd) color))
+    (Circuit.nodes c);
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun f ->
+          let style =
+            if Hashtbl.mem hi f && Hashtbl.mem hi nd.Circuit.id then
+              " [color=red]"
+            else ""
+          in
+          (* sequential D edges dashed to show where the combinational
+             core is cut *)
+          let style =
+            if Gate.equal_kind nd.Circuit.kind Gate.Dff then
+              if style = "" then " [style=dashed]"
+              else " [color=red, style=dashed]"
+            else style
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d%s;\n" f nd.Circuit.id style))
+        nd.Circuit.fanins)
+    (Circuit.nodes c);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?highlight c path =
+  let oc = open_out path in
+  output_string oc (to_string ?highlight c);
+  close_out oc

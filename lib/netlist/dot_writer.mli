@@ -1,0 +1,11 @@
+(** Graphviz export of a netlist, for inspection and documentation.
+
+    Inputs render as triangles, flip-flops as boxes, outputs as
+    inverted house shapes; an optional highlight set (e.g. a critical
+    path or the transition-node set) is drawn in red. *)
+
+
+
+val to_string : ?highlight:int list -> Circuit.t -> string
+
+val to_file : ?highlight:int list -> Circuit.t -> string -> unit

@@ -1,0 +1,145 @@
+type kind =
+  | Input
+  | Dff
+  | Output
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let equal_kind (a : kind) (b : kind) = a = b
+
+let to_string = function
+  | Input -> "INPUT"
+  | Dff -> "DFF"
+  | Output -> "OUTPUT"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Input
+  | "DFF" -> Dff
+  | "OUTPUT" -> Output
+  | "BUF" | "BUFF" -> Buf
+  | "NOT" | "INV" -> Not
+  | "AND" -> And
+  | "NAND" -> Nand
+  | "OR" -> Or
+  | "NOR" -> Nor
+  | "XOR" -> Xor
+  | "XNOR" -> Xnor
+  | other -> invalid_arg (Printf.sprintf "Gate.of_string: %S" other)
+
+let is_logic = function
+  | Buf | Not | And | Nand | Or | Nor | Xor | Xnor -> true
+  | Input | Dff | Output -> false
+
+let is_source = function
+  | Input | Dff -> true
+  | Output | Buf | Not | And | Nand | Or | Nor | Xor | Xnor -> false
+
+let min_fanin = function
+  | Input -> 0
+  | Dff | Output | Buf | Not -> 1
+  | And | Nand | Or | Nor | Xor | Xnor -> 2
+
+let max_fanin = function
+  | Input -> Some 0
+  | Dff | Output | Buf | Not -> Some 1
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let controlling_value = function
+  | And | Nand -> Some Logic.Zero
+  | Or | Nor -> Some Logic.One
+  | Input | Dff | Output | Buf | Not | Xor | Xnor -> None
+
+let controlled_response = function
+  | And -> Some Logic.Zero
+  | Nand -> Some Logic.One
+  | Or -> Some Logic.One
+  | Nor -> Some Logic.Zero
+  | Input | Dff | Output | Buf | Not | Xor | Xnor -> None
+
+let inversion = function
+  | Not | Nand | Nor | Xnor -> true
+  | Input | Dff | Output | Buf | And | Or | Xor -> false
+
+let check_arity kind n =
+  if n < min_fanin kind then
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s with %d inputs" (to_string kind) n);
+  match max_fanin kind with
+  | Some m when n > m ->
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s with %d inputs" (to_string kind) n)
+  | Some _ | None -> ()
+
+let fold_logic op seed vs =
+  let acc = ref seed in
+  for i = 0 to Array.length vs - 1 do
+    acc := op !acc vs.(i)
+  done;
+  !acc
+
+let eval kind vs =
+  check_arity kind (Array.length vs);
+  match kind with
+  | Input | Dff -> invalid_arg "Gate.eval: source node has no logic function"
+  | Output | Buf -> vs.(0)
+  | Not -> Logic.lnot vs.(0)
+  | And -> fold_logic Logic.( &&& ) Logic.One vs
+  | Nand -> Logic.lnot (fold_logic Logic.( &&& ) Logic.One vs)
+  | Or -> fold_logic Logic.( ||| ) Logic.Zero vs
+  | Nor -> Logic.lnot (fold_logic Logic.( ||| ) Logic.Zero vs)
+  | Xor -> fold_logic Logic.xor Logic.Zero vs
+  | Xnor -> Logic.lnot (fold_logic Logic.xor Logic.Zero vs)
+
+let eval_bool kind vs =
+  check_arity kind (Array.length vs);
+  let forall p =
+    let ok = ref true in
+    Array.iter (fun v -> if not (p v) then ok := false) vs;
+    !ok
+  in
+  let parity () =
+    let acc = ref false in
+    Array.iter (fun v -> acc := !acc <> v) vs;
+    !acc
+  in
+  match kind with
+  | Input | Dff -> invalid_arg "Gate.eval_bool: source node"
+  | Output | Buf -> vs.(0)
+  | Not -> not vs.(0)
+  | And -> forall (fun v -> v)
+  | Nand -> not (forall (fun v -> v))
+  | Or -> not (forall (fun v -> not v))
+  | Nor -> forall (fun v -> not v)
+  | Xor -> parity ()
+  | Xnor -> not (parity ())
+
+let eval_five kind vs =
+  check_arity kind (Array.length vs);
+  let module F = Logic.Five in
+  match kind with
+  | Input | Dff -> invalid_arg "Gate.eval_five: source node"
+  | Output | Buf -> vs.(0)
+  | Not -> F.lnot vs.(0)
+  | And -> fold_logic F.land_ F.F1 vs
+  | Nand -> F.lnot (fold_logic F.land_ F.F1 vs)
+  | Or -> fold_logic F.lor_ F.F0 vs
+  | Nor -> F.lnot (fold_logic F.lor_ F.F0 vs)
+  | Xor -> fold_logic F.lxor_ F.F0 vs
+  | Xnor -> F.lnot (fold_logic F.lxor_ F.F0 vs)
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)

@@ -1,0 +1,60 @@
+(** Gate kinds of the netlist IR and their boolean semantics. *)
+
+type kind =
+  | Input  (** Primary input; no fanin. *)
+  | Dff    (** D flip-flop; one fanin (D); its output is a pseudo-input. *)
+  | Output (** Primary-output marker; one fanin. *)
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+val equal_kind : kind -> kind -> bool
+
+val to_string : kind -> string
+
+val of_string : string -> kind
+(** Case-insensitive; accepts the ISCAS89 spellings ([DFF], [NAND], ...).
+    @raise Invalid_argument on unknown names. *)
+
+val is_logic : kind -> bool
+(** True for combinational gates ([Buf] through [Xnor]). *)
+
+val is_source : kind -> bool
+(** True for [Input] and [Dff]: nodes whose value is free in the
+    combinational core. *)
+
+val min_fanin : kind -> int
+
+val max_fanin : kind -> int option
+(** [None] means unbounded. *)
+
+val controlling_value : kind -> Logic.t option
+(** The input value that forces the gate output regardless of the other
+    inputs: [Zero] for AND/NAND, [One] for OR/NOR, [None] for gates
+    without a controlling value (XOR, XNOR, BUF, NOT, ...). *)
+
+val controlled_response : kind -> Logic.t option
+(** Output produced when some input carries the controlling value. *)
+
+val inversion : kind -> bool
+(** Whether the gate output inverts the "natural" (AND/OR) polarity:
+    true for NOT, NAND, NOR, XNOR. *)
+
+val eval : kind -> Logic.t array -> Logic.t
+(** Three-valued evaluation. [Dff] and [Input] evaluate to their single
+    stored value (fanin 0 is invalid for them here); [Output] and [Buf]
+    forward their input.
+    @raise Invalid_argument on arity violations. *)
+
+val eval_bool : kind -> bool array -> bool
+(** Two-valued evaluation, used by the fast simulators. *)
+
+val eval_five : kind -> Logic.Five.five array -> Logic.Five.five
+(** Five-valued evaluation for the ATPG. *)
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,76 @@
+(* Verilog identifiers cannot contain '$'; netlist names may (output
+   markers, mapper-generated gates), so names are sanitised with an
+   escape that stays injective. *)
+let sanitize name =
+  String.concat "_S_" (String.split_on_char '$' name)
+
+let primitive = function
+  | Gate.Buf -> Some "buf"
+  | Gate.Not -> Some "not"
+  | Gate.And -> Some "and"
+  | Gate.Nand -> Some "nand"
+  | Gate.Or -> Some "or"
+  | Gate.Nor -> Some "nor"
+  | Gate.Xor -> Some "xor"
+  | Gate.Xnor -> Some "xnor"
+  | Gate.Input | Gate.Dff | Gate.Output -> None
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  let name id = sanitize (Circuit.node c id).Circuit.name in
+  let pis = Array.to_list (Circuit.inputs c) |> List.map name in
+  let pos = Array.to_list (Circuit.outputs c) |> List.map name in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n"
+       (sanitize (Circuit.name c))
+       (String.concat ", " ("clk" :: (pis @ pos))));
+  Buffer.add_string buf "  input clk;\n";
+  List.iter (fun nm -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" nm)) pis;
+  List.iter (fun nm -> Buffer.add_string buf (Printf.sprintf "  output %s;\n" nm)) pos;
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Output -> ()
+      | Gate.Dff ->
+        Buffer.add_string buf
+          (Printf.sprintf "  reg %s;\n" (sanitize nd.Circuit.name))
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        Buffer.add_string buf
+          (Printf.sprintf "  wire %s;\n" (sanitize nd.Circuit.name)))
+    (Circuit.nodes c);
+  Array.iter
+    (fun nd ->
+      match primitive nd.Circuit.kind with
+      | Some prim ->
+        let args =
+          sanitize nd.Circuit.name
+          :: (Array.to_list nd.Circuit.fanins |> List.map name)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s g%d (%s);\n" prim nd.Circuit.id
+             (String.concat ", " args))
+      | None -> ())
+    (Circuit.nodes c);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      Buffer.add_string buf
+        (Printf.sprintf "  always @(posedge clk) %s <= %s;\n"
+           (sanitize nd.Circuit.name)
+           (name nd.Circuit.fanins.(0))))
+    (Circuit.dffs c);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (sanitize nd.Circuit.name)
+           (name nd.Circuit.fanins.(0))))
+    (Circuit.outputs c);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let to_file c path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

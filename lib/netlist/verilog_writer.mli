@@ -1,0 +1,7 @@
+(** Structural Verilog export of a netlist (one module, gate
+    primitives, DFFs as always-blocks). Useful for feeding the mapped
+    circuits to third-party tools. *)
+
+val to_string : Circuit.t -> string
+
+val to_file : Circuit.t -> string -> unit

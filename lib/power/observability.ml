@@ -1,0 +1,140 @@
+open Netlist
+
+type t = {
+  p_one : float array;
+  obs : float array;
+}
+
+(* Enumerate a gate's input states: probability-weighted output value
+   and per-pin derivatives. *)
+let gate_output_bool kind vs = Gate.eval_bool kind vs
+
+let compute ?(p_source = 0.5) c =
+  let n = Circuit.node_count c in
+  let p_one = Array.make n 0.0 in
+  (* forward: signal probabilities *)
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      match nd.kind with
+      | Gate.Input | Gate.Dff -> p_one.(id) <- p_source
+      | Gate.Output -> p_one.(id) <- p_one.(nd.fanins.(0))
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        let k = Array.length nd.fanins in
+        let p = ref 0.0 in
+        let vs = Array.make k false in
+        for state = 0 to (1 lsl k) - 1 do
+          let prob = ref 1.0 in
+          for i = 0 to k - 1 do
+            let b = state land (1 lsl i) <> 0 in
+            vs.(i) <- b;
+            let pi = p_one.(nd.fanins.(i)) in
+            prob := !prob *. (if b then pi else 1.0 -. pi)
+          done;
+          if gate_output_bool nd.kind vs then p := !p +. !prob
+        done;
+        p_one.(id) <- !p)
+    (Circuit.topo_order c);
+  (* Per-gate sensitivities: for gate g and pin j,
+     dleak_j = dE[leak_g]/dp1(fanin_j) and dout_j = dp1(out_g)/dp1(fanin_j),
+     both by conditioning the state enumeration on pin j. *)
+  let sensitivities id =
+    let nd = Circuit.node c id in
+    let k = Array.length nd.fanins in
+    let cell = Techmap.Mapper.cell_of_node c id in
+    let dleak = Array.make k 0.0 in
+    let dout = Array.make k 0.0 in
+    let vs = Array.make k false in
+    for state = 0 to (1 lsl k) - 1 do
+      (* probability of the *other* pins' part of the state *)
+      for i = 0 to k - 1 do
+        vs.(i) <- state land (1 lsl i) <> 0
+      done;
+      let out = if gate_output_bool nd.kind vs then 1.0 else 0.0 in
+      let leak =
+        match cell with
+        | Some cl -> Techlib.Leakage_table.leakage_na cl ~state
+        | None -> 0.0
+      in
+      for j = 0 to k - 1 do
+        let others = ref 1.0 in
+        for i = 0 to k - 1 do
+          if i <> j then begin
+            let pi = p_one.(nd.fanins.(i)) in
+            others := !others *. (if vs.(i) then pi else 1.0 -. pi)
+          end
+        done;
+        let sign = if vs.(j) then 1.0 else -1.0 in
+        dleak.(j) <- dleak.(j) +. (sign *. leak *. !others);
+        dout.(j) <- dout.(j) +. (sign *. out *. !others)
+      done
+    done;
+    (dleak, dout)
+  in
+  (* reverse: accumulate dE[total leakage]/dp1(node) *)
+  let obs = Array.make n 0.0 in
+  let topo = Circuit.topo_order c in
+  for idx = Array.length topo - 1 downto 0 do
+    let id = topo.(idx) in
+    let nd = Circuit.node c id in
+    match nd.kind with
+    | Gate.Output | Gate.Dff -> () (* not leakage consumers in scan mode *)
+    | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+    | Gate.Nor | Gate.Xor | Gate.Xnor ->
+      let acc = ref 0.0 in
+      Array.iter
+        (fun succ ->
+          let snd_ = Circuit.node c succ in
+          if Gate.is_logic snd_.kind then begin
+            let dleak, dout = sensitivities succ in
+            Array.iteri
+              (fun j f ->
+                if f = id then
+                  acc := !acc +. dleak.(j) +. (dout.(j) *. obs.(succ)))
+              snd_.fanins
+          end)
+        nd.fanouts;
+      obs.(id) <- !acc
+  done;
+  { p_one; obs }
+
+let probability t id = t.p_one.(id)
+let observability_na t id = t.obs.(id)
+let observabilities t = Array.copy t.obs
+
+let monte_carlo_na ?(samples = 2000) ~seed c =
+  let n = Circuit.node_count c in
+  let sum1 = Array.make n 0.0 and cnt1 = Array.make n 0 in
+  let sum0 = Array.make n 0.0 and cnt0 = Array.make n 0 in
+  let rng = Util.Rng.create seed in
+  let values = Array.make n false in
+  for _ = 1 to samples do
+    Array.iter
+      (fun id -> values.(id) <- Util.Rng.bool rng)
+      (Circuit.sources c);
+    Array.iter
+      (fun id ->
+        let nd = Circuit.node c id in
+        if not (Gate.is_source nd.kind) then
+          values.(id) <-
+            Gate.eval_bool nd.kind (Array.map (fun f -> values.(f)) nd.fanins))
+      (Circuit.topo_order c);
+    let leak_uw = Leakage.total_leakage_uw c values in
+    let leak_na = leak_uw /. Techlib.Leakage_table.vdd *. 1000.0 in
+    for id = 0 to n - 1 do
+      if values.(id) then begin
+        sum1.(id) <- sum1.(id) +. leak_na;
+        cnt1.(id) <- cnt1.(id) + 1
+      end
+      else begin
+        sum0.(id) <- sum0.(id) +. leak_na;
+        cnt0.(id) <- cnt0.(id) + 1
+      end
+    done
+  done;
+  Array.init n (fun id ->
+      if cnt1.(id) = 0 || cnt0.(id) = 0 then Float.nan
+      else
+        (sum1.(id) /. float_of_int cnt1.(id))
+        -. (sum0.(id) /. float_of_int cnt0.(id)))

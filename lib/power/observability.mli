@@ -1,0 +1,39 @@
+(** Leakage observability (Eq. (6)), extended from primary inputs
+    ([15]) to every internal line — the paper's key directive for
+    choosing among transition-blocking vectors.
+
+    The signed observability of a line is the sensitivity of the
+    expected total leakage to the line's one-probability,
+    d E\[leakage\] / d p1(line), computed in reverse topological order
+    with an independence assumption (the chain rule through each
+    fanout gate: the gate's own state-leakage sensitivity plus the
+    propagated sensitivity through its output probability). A large
+    positive value means driving the line to 1 costs leakage; the
+    paper picks the minimum-observability input when justifying a 1
+    and the maximum when justifying a 0.
+
+    A Monte-Carlo estimator over random source vectors is provided as
+    an independent cross-check (used by the test suite). *)
+
+open Netlist
+
+type t
+
+val compute : ?p_source:float -> Circuit.t -> t
+(** Analytic propagation; [p_source] (default 0.5) is the assumed
+    one-probability of every primary input and flip-flop output.
+    @raise Invalid_argument on unmapped logic gates. *)
+
+val probability : t -> int -> float
+(** Propagated one-probability of a node. *)
+
+val observability_na : t -> int -> float
+(** Signed leakage observability of the node's output line, nA. *)
+
+val observabilities : t -> float array
+
+val monte_carlo_na :
+  ?samples:int -> seed:int -> Circuit.t -> float array
+(** Conditional-difference estimate E\[leak | line=1\] -
+    E\[leak | line=0\] per node, nA (NaN for lines stuck at a value
+    across all samples); default 2000 samples. *)

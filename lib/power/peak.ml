@@ -1,0 +1,55 @@
+type profile = {
+  cycles : int;
+  total : float;
+  mean : float;
+  maximum : float;
+  max_cycle : int;
+  p95 : float;
+  window_mean_max : float;
+  window : int;
+}
+
+let of_series ?(window = 16) series =
+  let n = Array.length series in
+  if n = 0 then invalid_arg "Peak.of_series: empty series";
+  let window = max 1 (min window n) in
+  let total = Array.fold_left ( +. ) 0.0 series in
+  let maximum = ref series.(0) and max_cycle = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v > !maximum then begin
+        maximum := v;
+        max_cycle := i
+      end)
+    series;
+  let sorted = Array.copy series in
+  Array.sort compare sorted;
+  let p95 = sorted.(min (n - 1) (int_of_float (0.95 *. float_of_int n))) in
+  (* sliding-window mean by prefix sums *)
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. series.(i)
+  done;
+  let wmax = ref neg_infinity in
+  for i = 0 to n - window do
+    let m = (prefix.(i + window) -. prefix.(i)) /. float_of_int window in
+    if m > !wmax then wmax := m
+  done;
+  {
+    cycles = n;
+    total;
+    mean = total /. float_of_int n;
+    maximum = !maximum;
+    max_cycle = !max_cycle;
+    p95;
+    window_mean_max = !wmax;
+    window;
+  }
+
+let of_toggle_series ?window series =
+  of_series ?window (Array.map float_of_int series)
+
+let pp fmt p =
+  Format.fprintf fmt
+    "cycles=%d mean=%.2f max=%.2f@@cycle %d p95=%.2f window(%d)max=%.2f"
+    p.cycles p.mean p.maximum p.max_cycle p.p95 p.window p.window_mean_max

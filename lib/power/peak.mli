@@ -1,0 +1,28 @@
+(** Peak-power analysis over a per-cycle activity series.
+
+    Test-power constraints are usually set by the worst cycle (or a
+    short thermal window), not the average — the concern behind the
+    test-point insertion work the paper cites ([6]). This module folds
+    the per-cycle series produced by {!Scan.Scan_sim} into the numbers
+    a signoff would look at. *)
+
+type profile = {
+  cycles : int;
+  total : float;
+  mean : float;
+  maximum : float;
+  max_cycle : int;  (** index of the worst cycle *)
+  p95 : float;  (** 95th percentile of the per-cycle values *)
+  window_mean_max : float;
+      (** largest mean over any [window] consecutive cycles: a proxy
+          for local heating *)
+  window : int;
+}
+
+val of_series : ?window:int -> float array -> profile
+(** Default window: 16 cycles (clamped to the series length).
+    @raise Invalid_argument on an empty series. *)
+
+val of_toggle_series : ?window:int -> int array -> profile
+
+val pp : Format.formatter -> profile -> unit

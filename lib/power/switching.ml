@@ -1,0 +1,53 @@
+open Netlist
+
+type report = {
+  cycles : int;
+  total_toggles : int;
+  weighted_cap_ff : float;
+  dynamic_per_hz_uw : float;
+}
+
+let switched_cap c id =
+  let nd = Circuit.node c id in
+  match nd.Circuit.kind with
+  | Gate.Output -> 0.0
+  | Gate.Input | Gate.Dff -> Techmap.Loads.node_load c id
+  | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+  | Gate.Xor | Gate.Xnor ->
+    let internal =
+      match Techmap.Mapper.cell_of_node c id with
+      | Some cell -> Techlib.Cell.internal_cap cell
+      | None -> 0.0
+    in
+    Techmap.Loads.node_load c id +. internal
+
+let of_toggles c ~toggles ~cycles =
+  if cycles <= 0 then invalid_arg "Switching.of_toggles: cycles <= 0";
+  if Array.length toggles <> Circuit.node_count c then
+    invalid_arg "Switching.of_toggles: toggle array length mismatch";
+  let weighted = ref 0.0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun id n ->
+      if n > 0 then begin
+        total := !total + n;
+        weighted := !weighted +. (float_of_int n *. switched_cap c id)
+      end)
+    toggles;
+  let vdd = Techlib.Leakage_table.vdd in
+  (* alpha_i = toggles_i / cycles; C in fF = 1e-15 F; result in uW/Hz
+     = 1e6 x W/Hz. *)
+  let dynamic_per_hz_uw =
+    0.5 *. vdd *. vdd *. (!weighted /. float_of_int cycles) *. 1e-15 *. 1e6
+  in
+  {
+    cycles;
+    total_toggles = !total;
+    weighted_cap_ff = !weighted;
+    dynamic_per_hz_uw;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "cycles=%d toggles=%d weighted-cap=%.1f fF dynamic/f=%.3e uW/Hz" r.cycles
+    r.total_toggles r.weighted_cap_ff r.dynamic_per_hz_uw

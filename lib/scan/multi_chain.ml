@@ -1,0 +1,272 @@
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  chains : int array array; (* chains.(k).(pos) = dff node id, pos 0 at scan-in *)
+}
+
+let validate_partition c chains =
+  let dffs = Circuit.dffs c in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun chain ->
+      Array.iter
+        (fun id ->
+          if not (Gate.equal_kind (Circuit.node c id).Circuit.kind Gate.Dff) then
+            invalid_arg "Multi_chain: not a flip-flop";
+          if Hashtbl.mem seen id then
+            invalid_arg "Multi_chain: flip-flop in two chains";
+          Hashtbl.replace seen id ())
+        chain)
+    chains;
+  if Hashtbl.length seen <> Array.length dffs then
+    invalid_arg "Multi_chain: chains do not cover every flip-flop"
+
+let of_orders c chains =
+  validate_partition c chains;
+  { circuit = c; chains = Array.of_list (List.map Array.copy chains) }
+
+let partition c ~chains =
+  if chains < 1 then invalid_arg "Multi_chain.partition: chains < 1";
+  let dffs = Circuit.dffs c in
+  let k = max 1 (min chains (max 1 (Array.length dffs))) in
+  let buckets = Array.make k [] in
+  Array.iteri (fun i id -> buckets.(i mod k) <- id :: buckets.(i mod k)) dffs;
+  {
+    circuit = c;
+    chains = Array.map (fun l -> Array.of_list (List.rev l)) buckets;
+  }
+
+let chain_count t = Array.length t.chains
+let chain_lengths t = Array.to_list (Array.map Array.length t.chains)
+
+let shift_cycles_per_vector t =
+  Array.fold_left (fun acc ch -> max acc (Array.length ch)) 0 t.chains
+
+type result = {
+  cycles : int;
+  shift_cycles : int;
+  total_toggles : int;
+  dynamic_per_hz_uw : float;
+  avg_static_uw : float;
+  peak_static_uw : float;
+}
+
+type session = {
+  mc : t;
+  sim : Sim.Event_sim.t;
+  forced : (int, bool) Hashtbl.t;
+  hold : bool;
+  states : bool array array; (* per chain, by position *)
+  mutable static_sum_shift : float;
+  mutable static_sum_capture : float;
+  mutable static_peak : float;
+  mutable n_shift : int;
+  mutable n_capture : int;
+}
+
+let pseudo_value s k pos =
+  let id = s.mc.chains.(k).(pos) in
+  match Hashtbl.find_opt s.forced id with
+  | Some v -> v
+  | None -> s.states.(k).(pos)
+
+let leakage_now s =
+  Power.Leakage.total_leakage_uw s.mc.circuit (Sim.Event_sim.values s.sim)
+
+let after_cycle s ~shift =
+  let leak = leakage_now s in
+  if shift then begin
+    s.static_sum_shift <- s.static_sum_shift +. leak;
+    s.n_shift <- s.n_shift + 1
+  end
+  else begin
+    s.static_sum_capture <- s.static_sum_capture +. leak;
+    s.n_capture <- s.n_capture + 1
+  end;
+  if leak > s.static_peak then s.static_peak <- leak
+
+let all_pseudo_changes s =
+  let changes = ref [] in
+  Array.iteri
+    (fun k chain ->
+      Array.iteri (fun pos id -> changes := (id, pseudo_value s k pos) :: !changes)
+      chain)
+    s.mc.chains;
+  !changes
+
+(* One global shift cycle: every chain moves by one. [bits.(k)] feeds
+   chain k's scan-in; shorter chains that are already fully loaded keep
+   shifting their own data around the captured tail (standard padding). *)
+let shift_cycle s bits =
+  Array.iteri
+    (fun k chain ->
+      let n = Array.length chain in
+      if n > 0 then begin
+        for j = n - 1 downto 1 do
+          s.states.(k).(j) <- s.states.(k).(j - 1)
+        done;
+        s.states.(k).(0) <- bits.(k)
+      end)
+    s.mc.chains;
+  if not s.hold then ignore (Sim.Event_sim.set_sources s.sim (all_pseudo_changes s));
+  after_cycle s ~shift:true
+
+let split_vector c vec =
+  let n_pi = Array.length (Circuit.inputs c) in
+  let n_ff = Array.length (Circuit.dffs c) in
+  if Array.length vec <> n_pi + n_ff then
+    invalid_arg "Multi_chain: vector length mismatch";
+  (Array.sub vec 0 n_pi, Array.sub vec n_pi n_ff)
+
+let run ?init_state mc ~(policy : Scan_sim.policy) ~vectors ~on_response =
+  let c = mc.circuit in
+  let dffs = Circuit.dffs c in
+  let dff_index = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace dff_index id i) dffs;
+  let forced = Hashtbl.create 8 in
+  List.iter
+    (fun (id, v) ->
+      if not (Hashtbl.mem dff_index id) then
+        invalid_arg "Multi_chain: forced node is not a flip-flop";
+      Hashtbl.replace forced id v)
+    policy.Scan_sim.forced_pseudo;
+  let init =
+    match init_state with
+    | None -> Array.make (Array.length dffs) false
+    | Some st ->
+      if Array.length st <> Array.length dffs then
+        invalid_arg "Multi_chain: init state length mismatch";
+      st
+  in
+  let states =
+    Array.map
+      (fun chain -> Array.map (fun id -> init.(Hashtbl.find dff_index id)) chain)
+      mc.chains
+  in
+  let s =
+    {
+      mc;
+      sim = Sim.Event_sim.create c;
+      forced;
+      hold = policy.Scan_sim.hold_previous_capture;
+      states;
+      static_sum_shift = 0.0;
+      static_sum_capture = 0.0;
+      static_peak = 0.0;
+      n_shift = 0;
+      n_capture = 0;
+    }
+  in
+  let pis = Circuit.inputs c in
+  (match policy.Scan_sim.pi_during_shift with
+  | Some p when Array.length p <> Array.length pis ->
+    invalid_arg "Multi_chain: shift PI pattern length mismatch"
+  | Some _ | None -> ());
+  let shift_pi test_pi =
+    match policy.Scan_sim.pi_during_shift with
+    | Some p -> p
+    | None -> test_pi
+  in
+  let first_pi =
+    match vectors with
+    | [] -> Array.make (Array.length pis) false
+    | v :: _ -> fst (split_vector c v)
+  in
+  let pi_pos = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace pi_pos id i) pis;
+  let init_pi = shift_pi first_pi in
+  Sim.Event_sim.init s.sim (fun id ->
+      match Hashtbl.find_opt pi_pos id with
+      | Some i -> init_pi.(i)
+      | None ->
+        let chain_pos = ref (false, 0, 0) in
+        Array.iteri
+          (fun k chain ->
+            Array.iteri (fun pos cell -> if cell = id then chain_pos := (true, k, pos)) chain)
+          mc.chains;
+        let found, k, pos = !chain_pos in
+        assert found;
+        pseudo_value s k pos);
+  let pi_changes values =
+    Array.to_list (Array.mapi (fun i id -> (id, values.(i))) pis)
+  in
+  let n_shifts = shift_cycles_per_vector mc in
+  List.iter
+    (fun vec ->
+      let pi, target = split_vector c vec in
+      ignore (Sim.Event_sim.set_sources s.sim (pi_changes (shift_pi pi)));
+      (* serialise each chain's target state; short chains get their
+         bits during the last cycles so they land aligned at capture *)
+      for cycle = 0 to n_shifts - 1 do
+        let bits =
+          Array.map
+            (fun chain ->
+              let n = Array.length chain in
+              let k = cycle - (n_shifts - n) in
+              (* bit entering at relative cycle k lands at position n-1-k *)
+              if k < 0 || n = 0 then false
+              else target.(Hashtbl.find dff_index chain.(n - 1 - k)))
+            mc.chains
+        in
+        shift_cycle s bits
+      done;
+      (* capture: connect every pseudo-input to its cell and apply pi *)
+      let changes = ref (pi_changes pi) in
+      Array.iteri
+        (fun k chain ->
+          Array.iteri
+            (fun pos _ ->
+              changes := (mc.chains.(k).(pos), s.states.(k).(pos)) :: !changes)
+            chain)
+        mc.chains;
+      ignore (Sim.Event_sim.set_sources s.sim !changes);
+      after_cycle s ~shift:false;
+      let values = Sim.Event_sim.values s.sim in
+      let response =
+        Array.map (fun id -> values.((Circuit.node c id).Circuit.fanins.(0))) dffs
+      in
+      (* write the response back into the chains *)
+      Array.iteri
+        (fun k chain ->
+          Array.iteri
+            (fun pos id ->
+              s.states.(k).(pos) <- response.(Hashtbl.find dff_index id))
+            chain)
+        mc.chains;
+      on_response response)
+    vectors;
+  if vectors <> [] then begin
+    ignore (Sim.Event_sim.set_sources s.sim (pi_changes (shift_pi first_pi)));
+    for _ = 1 to n_shifts do
+      shift_cycle s (Array.make (chain_count mc) false)
+    done
+  end;
+  s
+
+let measure ?init_state mc ~policy ~vectors =
+  let s = run ?init_state mc ~policy ~vectors ~on_response:(fun _ -> ()) in
+  let cycles = max 1 (s.n_shift + s.n_capture) in
+  let dynamic =
+    Power.Switching.of_toggles mc.circuit
+      ~toggles:(Sim.Event_sim.toggle_counts s.sim)
+      ~cycles
+  in
+  {
+    cycles;
+    shift_cycles = s.n_shift;
+    total_toggles = Sim.Event_sim.total_toggles s.sim;
+    dynamic_per_hz_uw = dynamic.Power.Switching.dynamic_per_hz_uw;
+    avg_static_uw =
+      (if s.n_shift = 0 then 0.0
+       else s.static_sum_shift /. float_of_int s.n_shift);
+    peak_static_uw = s.static_peak;
+  }
+
+let responses ?init_state mc ~policy ~vectors =
+  let acc = ref [] in
+  let _ =
+    run ?init_state mc ~policy ~vectors ~on_response:(fun r ->
+        acc := Array.copy r :: !acc)
+  in
+  List.rev !acc

@@ -1,0 +1,60 @@
+(** Multiple parallel scan chains.
+
+    Production designs split the flip-flops over several chains fed by
+    parallel scan-in pins, dividing shift time by the chain count. The
+    paper evaluates a single chain; this module generalises the power
+    measurement so the trade-off (shorter shift phases concentrate the
+    same data into fewer, busier cycles) can be studied.
+
+    Semantics per test vector: [ceil(max chain length)] shift cycles
+    move every chain simultaneously, then one capture cycle applies the
+    test's PI part — a direct generalisation of {!Scan_sim}, and
+    identical to it for a single chain. *)
+
+open Netlist
+
+type t
+
+val partition : Circuit.t -> chains:int -> t
+(** Round-robin partition of [Circuit.dffs] into [chains] chains
+    (clamped to [1 .. n_ff]); chain 0 gets cells 0, k, 2k, ...
+    @raise Invalid_argument if the circuit has no flip-flops and
+    [chains > 0] is requested with [chains < 1]. *)
+
+val of_orders : Circuit.t -> int array list -> t
+(** Explicit chains; together they must form a partition of the
+    flip-flops.
+    @raise Invalid_argument otherwise. *)
+
+val chain_count : t -> int
+
+val chain_lengths : t -> int list
+
+val shift_cycles_per_vector : t -> int
+(** Length of the longest chain. *)
+
+type result = {
+  cycles : int;
+  shift_cycles : int;
+  total_toggles : int;
+  dynamic_per_hz_uw : float;
+  avg_static_uw : float;  (** mean leakage over shift cycles *)
+  peak_static_uw : float;
+}
+
+val measure :
+  ?init_state:bool array ->
+  t ->
+  policy:Scan_sim.policy ->
+  vectors:bool array list ->
+  result
+(** [init_state] is indexed in [Circuit.dffs] order. Vectors are
+    positional over [Circuit.sources] as everywhere else. *)
+
+val responses :
+  ?init_state:bool array ->
+  t ->
+  policy:Scan_sim.policy ->
+  vectors:bool array list ->
+  bool array list
+(** Captured next-state per vector, in [Circuit.dffs] order. *)

@@ -1,0 +1,42 @@
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  order : int array;
+  positions : (int, int) Hashtbl.t;
+}
+
+let build c order =
+  let positions = Hashtbl.create (Array.length order) in
+  Array.iteri (fun pos id -> Hashtbl.replace positions id pos) order;
+  { circuit = c; order = Array.copy order; positions }
+
+let natural c = build c (Circuit.dffs c)
+
+let of_order c order =
+  let dffs = Circuit.dffs c in
+  if Array.length order <> Array.length dffs then
+    invalid_arg "Scan_chain.of_order: wrong length";
+  let expected = Hashtbl.create 16 in
+  Array.iter (fun id -> Hashtbl.replace expected id ()) dffs;
+  Array.iter
+    (fun id ->
+      if not (Hashtbl.mem expected id) then
+        invalid_arg "Scan_chain.of_order: not a permutation of the flip-flops";
+      Hashtbl.remove expected id)
+    order;
+  build c order
+
+let circuit t = t.circuit
+let length t = Array.length t.order
+let cells t = Array.copy t.order
+let cell_at t i = t.order.(i)
+let position_of t id = Hashtbl.find t.positions id
+
+(* After n shifts (cell.(j) <- cell.(j-1), cell.(0) <- input), the bit
+   entering at cycle k lands in chain position n-1-k. *)
+let shift_in_sequence t target =
+  let n = length t in
+  if Array.length target <> n then
+    invalid_arg "Scan_chain.shift_in_sequence: wrong target length";
+  List.init n (fun k -> target.(n - 1 - k))

@@ -1,0 +1,33 @@
+(** Full-scan chain over a circuit's flip-flops.
+
+    The paper performs no scan-cell reordering, so the default chain
+    follows declaration order; alternative orders are supported for
+    experiments. *)
+
+open Netlist
+
+type t
+
+val natural : Circuit.t -> t
+(** Chain in [Circuit.dffs] order; index 0 is nearest scan-in. *)
+
+val of_order : Circuit.t -> int array -> t
+(** @raise Invalid_argument unless the array is a permutation of
+    [Circuit.dffs]. *)
+
+val circuit : t -> Circuit.t
+
+val length : t -> int
+
+val cells : t -> int array
+(** Flip-flop node ids, scan-in end first (copy). *)
+
+val cell_at : t -> int -> int
+
+val position_of : t -> int -> int
+(** Chain position of a flip-flop node id.
+    @raise Not_found if the node is not in the chain. *)
+
+val shift_in_sequence : t -> bool array -> bool list
+(** The serial bit sequence (first bit first) that loads the given
+    target state (indexed by chain position) after [length] shifts. *)

@@ -1,0 +1,301 @@
+open Netlist
+
+type policy = {
+  pi_during_shift : bool array option;
+  forced_pseudo : (int * bool) list;
+  hold_previous_capture : bool;
+}
+
+let traditional =
+  { pi_during_shift = None; forced_pseudo = []; hold_previous_capture = false }
+
+let enhanced_scan =
+  { pi_during_shift = None; forced_pseudo = []; hold_previous_capture = true }
+
+type result = {
+  cycles : int;
+  shift_cycles : int;
+  toggles : int array;
+  total_toggles : int;
+  per_cycle_toggles : int array;
+  dynamic : Power.Switching.report;
+  avg_static_uw : float;
+  peak_static_uw : float;
+  avg_capture_static_uw : float;
+}
+
+(* Split a source vector into its PI part and its chain-position-indexed
+   state part. *)
+let split_vector c chain vec =
+  let n_pi = Array.length (Circuit.inputs c) in
+  let n_ff = Array.length (Circuit.dffs c) in
+  if Array.length vec <> n_pi + n_ff then
+    invalid_arg "Scan_sim: vector length mismatch";
+  let pi = Array.sub vec 0 n_pi in
+  let dffs = Circuit.dffs c in
+  (* vec's state part is in Circuit.dffs order; re-index by chain position *)
+  let by_pos = Array.make n_ff false in
+  Array.iteri
+    (fun i id -> by_pos.(Scan_chain.position_of chain id) <- vec.(n_pi + i))
+    dffs;
+  (pi, by_pos)
+
+type session = {
+  circuit : Circuit.t;
+  chain : Scan_chain.t;
+  policy : policy;
+  sim : Sim.Event_sim.t;
+  forced : (int, bool) Hashtbl.t;
+  mutable chain_state : bool array; (* by chain position *)
+  mutable static_sum_shift : float;
+  mutable static_sum_capture : float;
+  mutable static_peak : float;
+  mutable n_shift : int;
+  mutable n_capture : int;
+  (* incremental leakage bookkeeping: per-gate current leakage and the
+     running total, updated only for gates whose fanins toggled *)
+  gate_leak_na : float array;
+  mutable total_leak_na : float;
+  touched_stamp : int array;
+  mutable stamp : int;
+  mutable toggles_at_last_cycle : int;
+  mutable cycle_toggles_rev : int list;
+}
+
+(* Recompute every gate's leakage from the simulator's values. *)
+let rebuild_leakage s =
+  let values = Sim.Event_sim.values s.sim in
+  s.total_leak_na <- 0.0;
+  Array.iter
+    (fun nd ->
+      if Gate.is_logic nd.Circuit.kind then begin
+        let l = Power.Leakage.gate_leakage_na s.circuit values nd.Circuit.id in
+        s.gate_leak_na.(nd.Circuit.id) <- l;
+        s.total_leak_na <- s.total_leak_na +. l
+      end)
+    (Circuit.nodes s.circuit)
+
+(* Refresh only the gates reading a node that toggled this cycle. *)
+let refresh_leakage s =
+  let values = Sim.Event_sim.values s.sim in
+  s.stamp <- s.stamp + 1;
+  let stamp = s.stamp in
+  List.iter
+    (fun id ->
+      Array.iter
+        (fun succ ->
+          if s.touched_stamp.(succ) <> stamp then begin
+            s.touched_stamp.(succ) <- stamp;
+            let nd = Circuit.node s.circuit succ in
+            if Gate.is_logic nd.Circuit.kind then begin
+              let l = Power.Leakage.gate_leakage_na s.circuit values succ in
+              s.total_leak_na <-
+                s.total_leak_na -. s.gate_leak_na.(succ) +. l;
+              s.gate_leak_na.(succ) <- l
+            end
+          end)
+        (Circuit.node s.circuit id).Circuit.fanouts)
+    (Sim.Event_sim.last_changes s.sim)
+
+let leakage_now s = s.total_leak_na *. Techlib.Leakage_table.vdd /. 1000.0
+
+let after_cycle s ~capture =
+  let total = Sim.Event_sim.total_toggles s.sim in
+  s.cycle_toggles_rev <- (total - s.toggles_at_last_cycle) :: s.cycle_toggles_rev;
+  s.toggles_at_last_cycle <- total;
+  let leak = leakage_now s in
+  if capture then begin
+    s.static_sum_capture <- s.static_sum_capture +. leak;
+    s.n_capture <- s.n_capture + 1
+  end
+  else begin
+    s.static_sum_shift <- s.static_sum_shift +. leak;
+    s.n_shift <- s.n_shift + 1
+  end;
+  if leak > s.static_peak then s.static_peak <- leak
+
+(* Pseudo-input value presented to the logic for the flip-flop at chain
+   position [pos] while Shift Enable is high. *)
+let shift_value s pos =
+  let id = Scan_chain.cell_at s.chain pos in
+  match Hashtbl.find_opt s.forced id with
+  | Some v -> v
+  | None -> s.chain_state.(pos)
+
+(* every source application immediately folds its toggles into the
+   leakage bookkeeping, so consecutive change sets are never lost *)
+let apply_sources s changes =
+  ignore (Sim.Event_sim.set_sources s.sim changes);
+  refresh_leakage s
+
+let pi_changes c pi_values =
+  Array.to_list
+    (Array.mapi (fun i id -> (id, pi_values.(i))) (Circuit.inputs c))
+
+(* One shift cycle: the chain moves by one, scan-in receives [bit].
+   With [hold_previous_capture] (enhanced scan: hold latches at every
+   scan-cell output) the pseudo-inputs keep their captured values while
+   the chain ripples internally, so the logic sees no shift activity at
+   all. *)
+let shift_cycle s bit =
+  let n = Array.length s.chain_state in
+  let next = Array.make n false in
+  next.(0) <- bit;
+  for j = 1 to n - 1 do
+    next.(j) <- s.chain_state.(j - 1)
+  done;
+  s.chain_state <- next;
+  if not s.policy.hold_previous_capture then begin
+    let changes = ref [] in
+    for pos = 0 to n - 1 do
+      let id = Scan_chain.cell_at s.chain pos in
+      changes := (id, shift_value s pos) :: !changes
+    done;
+    apply_sources s !changes
+  end;
+  after_cycle s ~capture:false
+
+(* Capture cycle: multiplexers select the scan cells again, the test's
+   PI part is applied, the logic settles and the response is captured
+   back into the chain. *)
+let capture_cycle s pi_values =
+  let c = s.circuit in
+  let n = Array.length s.chain_state in
+  let changes = ref (pi_changes c pi_values) in
+  for pos = 0 to n - 1 do
+    let id = Scan_chain.cell_at s.chain pos in
+    changes := (id, s.chain_state.(pos)) :: !changes
+  done;
+  apply_sources s !changes;
+  after_cycle s ~capture:true;
+  (* capture: chain now holds the combinational response *)
+  let values = Sim.Event_sim.values s.sim in
+  let response = Array.make n false in
+  Array.iter
+    (fun id ->
+      let d = (Circuit.node c id).Circuit.fanins.(0) in
+      response.(Scan_chain.position_of s.chain id) <- values.(d))
+    (Circuit.dffs c);
+  s.chain_state <- response;
+  response
+
+let make_session ?init_state c chain policy =
+  let n_ff = Scan_chain.length chain in
+  let forced = Hashtbl.create 8 in
+  List.iter
+    (fun (id, v) ->
+      if not (Gate.equal_kind (Circuit.node c id).Circuit.kind Gate.Dff) then
+        invalid_arg "Scan_sim: forced node is not a flip-flop";
+      Hashtbl.replace forced id v)
+    policy.forced_pseudo;
+  (match policy.pi_during_shift with
+  | Some p when Array.length p <> Array.length (Circuit.inputs c) ->
+    invalid_arg "Scan_sim: shift PI pattern length mismatch"
+  | Some _ | None -> ());
+  let chain_state =
+    match init_state with
+    | None -> Array.make n_ff false
+    | Some st ->
+      if Array.length st <> n_ff then
+        invalid_arg "Scan_sim: init state length mismatch";
+      Array.copy st
+  in
+  let sim = Sim.Event_sim.create c in
+  {
+    circuit = c;
+    chain;
+    policy;
+    sim;
+    forced;
+    chain_state;
+    static_sum_shift = 0.0;
+    static_sum_capture = 0.0;
+    static_peak = 0.0;
+    n_shift = 0;
+    n_capture = 0;
+    gate_leak_na = Array.make (Circuit.node_count c) 0.0;
+    total_leak_na = 0.0;
+    touched_stamp = Array.make (Circuit.node_count c) 0;
+    stamp = 0;
+    toggles_at_last_cycle = 0;
+    cycle_toggles_rev = [];
+  }
+
+let run ?init_state c chain policy ~vectors ~on_response =
+  let s = make_session ?init_state c chain policy in
+  let shift_pi current_test_pi =
+    match s.policy.pi_during_shift with
+    | Some p -> p
+    | None -> current_test_pi
+  in
+  let first_pi =
+    match vectors with
+    | [] -> Array.make (Array.length (Circuit.inputs c)) false
+    | v :: _ -> fst (split_vector c chain v)
+  in
+  (* initial settle (not counted): shift mode, chain at init state *)
+  let init_pi = shift_pi first_pi in
+  let pi_ids = Circuit.inputs c in
+  let pi_pos = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace pi_pos id i) pi_ids;
+  Sim.Event_sim.init s.sim (fun id ->
+      match Hashtbl.find_opt pi_pos id with
+      | Some i -> init_pi.(i)
+      | None ->
+        (* a flip-flop *)
+        shift_value s (Scan_chain.position_of chain id));
+  rebuild_leakage s;
+  List.iter
+    (fun vec ->
+      let pi, target_state = split_vector c chain vec in
+      (* drive the shift-mode PI pattern (counted: it is a real change
+         after the previous capture) *)
+      apply_sources s (pi_changes c (shift_pi pi));
+      List.iter (shift_cycle s) (Scan_chain.shift_in_sequence chain target_state);
+      let response = capture_cycle s pi in
+      on_response response)
+    vectors;
+  (* final shift-out of the last response (scan-in pumped with zeros) *)
+  if vectors <> [] then begin
+    apply_sources s (pi_changes c (shift_pi first_pi));
+    for _ = 1 to Scan_chain.length chain do
+      shift_cycle s false
+    done
+  end;
+  (* invariant: the incremental leakage total equals a full recompute *)
+  let accumulated = s.total_leak_na in
+  rebuild_leakage s;
+  assert (
+    Float.abs (accumulated -. s.total_leak_na)
+    < 1e-6 *. Float.max 1.0 s.total_leak_na);
+  s
+
+let measure ?init_state c chain policy ~vectors =
+  let s = run ?init_state c chain policy ~vectors ~on_response:(fun _ -> ()) in
+  let toggles = Array.copy (Sim.Event_sim.toggle_counts s.sim) in
+  let cycles = s.n_shift + s.n_capture in
+  let cycles = max cycles 1 in
+  let dynamic = Power.Switching.of_toggles c ~toggles ~cycles in
+  {
+    cycles;
+    shift_cycles = s.n_shift;
+    toggles;
+    total_toggles = Sim.Event_sim.total_toggles s.sim;
+    per_cycle_toggles = Array.of_list (List.rev s.cycle_toggles_rev);
+    dynamic;
+    avg_static_uw =
+      (if s.n_shift = 0 then 0.0
+       else s.static_sum_shift /. float_of_int s.n_shift);
+    peak_static_uw = s.static_peak;
+    avg_capture_static_uw =
+      (if s.n_capture = 0 then 0.0
+       else s.static_sum_capture /. float_of_int s.n_capture);
+  }
+
+let responses ?init_state c chain policy ~vectors =
+  let acc = ref [] in
+  let _ =
+    run ?init_state c chain policy ~vectors ~on_response:(fun r ->
+        acc := Array.copy r :: !acc)
+  in
+  List.rev !acc

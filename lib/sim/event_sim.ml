@@ -1,0 +1,106 @@
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  values : bool array;
+  toggles : int array;
+  mutable total : int;
+  mutable changed : int list; (* nodes toggled by the last change set *)
+  (* level-bucketed pending queue *)
+  buckets : int list array;
+  pending : bool array;
+}
+
+let create c =
+  let n = Circuit.node_count c in
+  {
+    circuit = c;
+    values = Array.make n false;
+    toggles = Array.make n 0;
+    total = 0;
+    changed = [];
+    buckets = Array.make (Circuit.depth c + 1) [];
+    pending = Array.make n false;
+  }
+
+let circuit t = t.circuit
+let values t = t.values
+let toggle_counts t = t.toggles
+let total_toggles t = t.total
+
+let reset_counts t =
+  Array.fill t.toggles 0 (Array.length t.toggles) 0;
+  t.total <- 0
+
+let eval_node t nd =
+  let vs = Array.map (fun f -> t.values.(f)) nd.Circuit.fanins in
+  Gate.eval_bool nd.Circuit.kind vs
+
+let init t sources =
+  let c = t.circuit in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if Gate.is_source nd.kind then t.values.(id) <- sources id
+      else t.values.(id) <- eval_node t nd)
+    (Circuit.topo_order c);
+  reset_counts t
+
+(* Flip-flops read combinational nodes through their D fanin, so they
+   appear in fanout lists; they must not be re-evaluated by the
+   combinational event loop (their value only changes at a capture). *)
+let schedule t id =
+  if
+    (not t.pending.(id))
+    && not (Gate.is_source (Circuit.node t.circuit id).Circuit.kind)
+  then begin
+    t.pending.(id) <- true;
+    let lvl = Circuit.level t.circuit id in
+    t.buckets.(lvl) <- id :: t.buckets.(lvl)
+  end
+
+let record_toggle t id =
+  t.toggles.(id) <- t.toggles.(id) + 1;
+  t.total <- t.total + 1;
+  t.changed <- id :: t.changed
+
+let last_changes t = t.changed
+
+let set_sources t changes =
+  let c = t.circuit in
+  t.changed <- [];
+  let caused = ref 0 in
+  let touch id =
+    Array.iter (fun succ -> schedule t succ) (Circuit.node c id).Circuit.fanouts
+  in
+  List.iter
+    (fun (id, v) ->
+      let nd = Circuit.node c id in
+      if not (Gate.is_source nd.kind) then
+        invalid_arg "Event_sim.set_sources: not a source node";
+      if t.values.(id) <> v then begin
+        t.values.(id) <- v;
+        record_toggle t id;
+        incr caused;
+        touch id
+      end)
+    changes;
+  (* Drain buckets in level order; a node is evaluated at most once per
+     change set because levels only increase along fanout edges. *)
+  for lvl = 1 to Array.length t.buckets - 1 do
+    let ids = t.buckets.(lvl) in
+    t.buckets.(lvl) <- [];
+    List.iter
+      (fun id ->
+        t.pending.(id) <- false;
+        let nd = Circuit.node c id in
+        let v = eval_node t nd in
+        if v <> t.values.(id) then begin
+          t.values.(id) <- v;
+          record_toggle t id;
+          incr caused;
+          touch id
+        end)
+      ids
+  done;
+  !caused

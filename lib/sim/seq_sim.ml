@@ -1,0 +1,50 @@
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  mutable present : bool array;
+}
+
+let create ?init_state c =
+  let n = Array.length (Circuit.dffs c) in
+  let present =
+    match init_state with
+    | None -> Array.make n false
+    | Some s ->
+      if Array.length s <> n then
+        invalid_arg "Seq_sim.create: state length mismatch";
+      Array.copy s
+  in
+  { circuit = c; present }
+
+let state t = Array.copy t.present
+
+let set_state t s =
+  if Array.length s <> Array.length t.present then
+    invalid_arg "Seq_sim.set_state: state length mismatch";
+  t.present <- Array.copy s
+
+let eval t pi_vector =
+  let to_l b = Logic.of_bool b in
+  let values =
+    Ternary_sim.eval t.circuit
+      ~inputs:(fun i -> to_l pi_vector.(i))
+      ~state:(fun i -> to_l t.present.(i))
+  in
+  let force v =
+    match Logic.to_bool v with
+    | Some b -> b
+    | None -> assert false (* two-valued inputs cannot produce X *)
+  in
+  let outs = Array.map force (Ternary_sim.outputs_of t.circuit values) in
+  let next = Array.map force (Ternary_sim.next_state_of t.circuit values) in
+  (outs, next)
+
+let step t pi_vector =
+  let outs, next = eval t pi_vector in
+  t.present <- next;
+  outs
+
+let outputs_only t pi_vector = fst (eval t pi_vector)
+
+let run t vectors = List.map (step t) vectors

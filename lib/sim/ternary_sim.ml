@@ -1,0 +1,35 @@
+open Netlist
+
+type values = Logic.t array
+
+let make_values c v = Array.make (Circuit.node_count c) v
+
+let propagate c values =
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if not (Gate.is_source nd.kind) then begin
+        let vs = Array.map (fun f -> values.(f)) nd.fanins in
+        values.(id) <- Gate.eval nd.kind vs
+      end)
+    (Circuit.topo_order c)
+
+let eval c ~inputs ~state =
+  let values = make_values c Logic.X in
+  Array.iteri (fun pos id -> values.(id) <- inputs pos) (Circuit.inputs c);
+  Array.iteri (fun pos id -> values.(id) <- state pos) (Circuit.dffs c);
+  propagate c values;
+  values
+
+let eval_vector c pi_values ff_values =
+  if Array.length pi_values <> Array.length (Circuit.inputs c) then
+    invalid_arg "Ternary_sim.eval_vector: wrong number of input values";
+  if Array.length ff_values <> Array.length (Circuit.dffs c) then
+    invalid_arg "Ternary_sim.eval_vector: wrong number of state values";
+  eval c ~inputs:(fun i -> pi_values.(i)) ~state:(fun i -> ff_values.(i))
+
+let outputs_of c values =
+  Array.map (fun id -> values.((Circuit.node c id).fanins.(0))) (Circuit.outputs c)
+
+let next_state_of c values =
+  Array.map (fun id -> values.((Circuit.node c id).fanins.(0))) (Circuit.dffs c)

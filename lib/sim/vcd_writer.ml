@@ -1,0 +1,73 @@
+open Netlist
+
+type t = {
+  circuit : Circuit.t;
+  timescale : string;
+  codes : string array; (* per node id *)
+  current : bool option array;
+  mutable last_time : int;
+  changes : Buffer.t;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian base-94. *)
+let code_of_index i =
+  let buf = Buffer.create 2 in
+  let rec go i =
+    Buffer.add_char buf (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go ((i / 94) - 1)
+  in
+  go i;
+  Buffer.contents buf
+
+let create ?(timescale = "1ns") c =
+  let n = Circuit.node_count c in
+  {
+    circuit = c;
+    timescale;
+    codes = Array.init n code_of_index;
+    current = Array.make n None;
+    last_time = -1;
+    changes = Buffer.create 4096;
+  }
+
+let sample t ~time values =
+  if Array.length values <> Circuit.node_count t.circuit then
+    invalid_arg "Vcd_writer.sample: wrong array length";
+  if time < t.last_time then invalid_arg "Vcd_writer.sample: time went backwards";
+  let header_emitted = ref false in
+  Array.iteri
+    (fun id v ->
+      if t.current.(id) <> Some v then begin
+        if not !header_emitted then begin
+          Buffer.add_string t.changes (Printf.sprintf "#%d\n" time);
+          header_emitted := true
+        end;
+        Buffer.add_string t.changes
+          (Printf.sprintf "%c%s\n" (if v then '1' else '0') t.codes.(id));
+        t.current.(id) <- Some v
+      end)
+    values;
+  t.last_time <- time
+
+(* VCD identifiers may not contain whitespace; netlist names are safe
+   except for '$', which VCD tolerates, so names pass through. *)
+let to_string t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "$date scanpower $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" t.timescale);
+  Buffer.add_string buf
+    (Printf.sprintf "$scope module %s $end\n" (Circuit.name t.circuit));
+  Array.iter
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" t.codes.(nd.Circuit.id)
+           nd.Circuit.name))
+    (Circuit.nodes t.circuit);
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  Buffer.add_buffer buf t.changes;
+  Buffer.contents buf
+
+let to_file t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

@@ -1,0 +1,21 @@
+(** Value-change-dump (IEEE 1364 VCD) recording of a simulation run,
+    viewable in GTKWave & co. Drive it manually around any simulator:
+    snapshot the node values after each cycle and only the changes are
+    emitted. *)
+
+open Netlist
+
+type t
+
+val create : ?timescale:string -> Circuit.t -> t
+(** Fresh recorder with all values unknown; default timescale "1ns". *)
+
+val sample : t -> time:int -> bool array -> unit
+(** Record the node values (indexed by node id) at [time]; times must
+    be non-decreasing.
+    @raise Invalid_argument on a stale time or wrong array length. *)
+
+val to_string : t -> string
+(** Render header + change stream. *)
+
+val to_file : t -> string -> unit

@@ -1,0 +1,188 @@
+open Netlist
+
+let clk_to_q = 35.0
+
+type t = {
+  circuit : Circuit.t;
+  loads : float array;
+  delays : float array;
+  arrivals : float array;
+  requireds : float array;
+  crit : float;
+}
+
+let is_endpoint nd =
+  match nd.Circuit.kind with
+  | Gate.Output | Gate.Dff -> true
+  | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+  | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    false
+
+let node_delay c loads id =
+  let nd = Circuit.node c id in
+  match nd.Circuit.kind with
+  | Gate.Input | Gate.Dff | Gate.Output -> 0.0
+  | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+  | Gate.Xor | Gate.Xnor ->
+    (match Techmap.Mapper.cell_of_node c id with
+    | Some cell -> Techlib.Cell.delay cell ~load:loads.(id)
+    | None -> invalid_arg "Sta: circuit is not mapped")
+
+let launch nd =
+  match nd.Circuit.kind with
+  | Gate.Dff -> clk_to_q
+  | Gate.Input -> 0.0
+  | Gate.Output | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+  | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    0.0
+
+(* Forward pass with per-source extra launch penalties. *)
+let arrivals_with c loads ~penalty =
+  let n = Circuit.node_count c in
+  let arr = Array.make n 0.0 in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      if Gate.is_source nd.kind then arr.(id) <- launch nd +. penalty id
+      else begin
+        let best = ref 0.0 in
+        (* a flip-flop D pin ends a path: the Dff node's own arrival is
+           its launch, handled above, so only non-source nodes fold
+           their fanins *)
+        Array.iter (fun f -> best := Float.max !best arr.(f)) nd.fanins;
+        arr.(id) <- !best +. node_delay c loads id
+      end)
+    (Circuit.topo_order c);
+  arr
+
+(* The arrival at an endpoint: output markers carry their fanin arrival
+   (zero own delay); a flip-flop's data arrival is its D fanin's. *)
+let endpoint_arrival c arr id =
+  let nd = Circuit.node c id in
+  match nd.Circuit.kind with
+  | Gate.Output -> arr.(id)
+  | Gate.Dff -> if Array.length nd.fanins > 0 then arr.(nd.fanins.(0)) else 0.0
+  | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+  | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    arr.(id)
+
+let max_endpoint_arrival c arr =
+  let crit = ref 0.0 in
+  Array.iter
+    (fun nd ->
+      if is_endpoint nd then
+        crit := Float.max !crit (endpoint_arrival c arr nd.Circuit.id))
+    (Circuit.nodes c);
+  !crit
+
+let analyze c =
+  let loads = Techmap.Loads.all c in
+  let n = Circuit.node_count c in
+  let delays = Array.init n (node_delay c loads) in
+  let arrivals = arrivals_with c loads ~penalty:(fun _ -> 0.0) in
+  let crit = max_endpoint_arrival c arrivals in
+  (* Backward pass: required(n) = min over combinational readers of
+     (required(reader) - delay(reader)); endpoints require [crit]. *)
+  let requireds = Array.make n infinity in
+  let topo = Circuit.topo_order c in
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Output | Gate.Dff ->
+        Array.iter
+          (fun f -> requireds.(f) <- Float.min requireds.(f) crit)
+          nd.Circuit.fanins
+      | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        ())
+    (Circuit.nodes c);
+  for i = Array.length topo - 1 downto 0 do
+    let id = topo.(i) in
+    let nd = Circuit.node c id in
+    if not (Gate.is_source nd.kind) && nd.kind <> Gate.Output then
+      Array.iter
+        (fun f ->
+          requireds.(f) <- Float.min requireds.(f) (requireds.(id) -. delays.(id)))
+        nd.fanins
+  done;
+  (* nodes driving nothing that times (e.g. dangling gates) never
+     constrain anything: give them the full period *)
+  Array.iteri
+    (fun id r -> if r = infinity then requireds.(id) <- crit)
+    requireds;
+  { circuit = c; loads; delays; arrivals; requireds; crit }
+
+let circuit t = t.circuit
+let arrival t id = t.arrivals.(id)
+let required t id = t.requireds.(id)
+let slack t id = t.requireds.(id) -. t.arrivals.(id)
+let critical_delay t = t.crit
+let gate_delay t id = t.delays.(id)
+let load t id = t.loads.(id)
+
+let critical_endpoints t =
+  let c = t.circuit in
+  let eps = 1e-9 in
+  Array.to_list (Circuit.nodes c)
+  |> List.filter_map (fun nd ->
+         if
+           is_endpoint nd
+           && endpoint_arrival c t.arrivals nd.Circuit.id >= t.crit -. eps
+         then Some nd.Circuit.id
+         else None)
+
+let critical_path t =
+  let c = t.circuit in
+  let eps = 1e-9 in
+  (* walk back from a critical endpoint through the latest fanin *)
+  let start =
+    match critical_endpoints t with
+    | [] -> None
+    | id :: _ -> Some id
+  in
+  match start with
+  | None -> []
+  | Some ep ->
+    let rec back id acc =
+      let nd = Circuit.node c id in
+      let acc = id :: acc in
+      if Gate.is_source nd.kind || Array.length nd.fanins = 0 then acc
+      else begin
+        let target = t.arrivals.(id) -. t.delays.(id) in
+        let pick = ref nd.fanins.(0) in
+        Array.iter
+          (fun f ->
+            if Float.abs (t.arrivals.(f) -. target) < eps then pick := f)
+          nd.fanins;
+        back !pick acc
+      end
+    in
+    (* for a Dff endpoint the path ends at its D fanin *)
+    let nd = Circuit.node c ep in
+    (match nd.Circuit.kind with
+    | Gate.Dff -> back nd.fanins.(0) [ ep ]
+    | Gate.Output | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand
+    | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+      back ep [])
+
+let delay_with_penalty c ~penalties =
+  let loads = Techmap.Loads.all c in
+  List.iter
+    (fun (id, _) ->
+      if not (Gate.is_source (Circuit.node c id).Circuit.kind) then
+        invalid_arg "Sta.delay_with_penalty: not a source node")
+    penalties;
+  let penalty id =
+    List.fold_left
+      (fun acc (pid, p) -> if pid = id then acc +. p else acc)
+      0.0 penalties
+  in
+  let arr = arrivals_with c loads ~penalty in
+  max_endpoint_arrival c arr
+
+let fits_without_slowdown t ~source ~penalty =
+  let nd = Circuit.node t.circuit source in
+  if not (Gate.is_source nd.Circuit.kind) then
+    invalid_arg "Sta.fits_without_slowdown: not a source node";
+  if Array.length nd.Circuit.fanouts = 0 then true
+  else penalty <= slack t source +. 1e-9

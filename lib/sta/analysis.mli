@@ -1,0 +1,59 @@
+(** Static timing analysis of a mapped circuit.
+
+    Linear delay model: gate delay = intrinsic + drive resistance x
+    capacitive load ({!Techlib.Cell}, {!Techmap.Loads}); sources launch
+    at the flip-flop clock-to-Q (primary inputs at 0). Timing ends at
+    primary outputs and flip-flop D pins.
+
+    AddMUX (Section 4 of the paper) needs to know whether adding a
+    multiplexer after a scan cell stretches the critical path. The
+    paper re-runs the full analysis per candidate; [fits_without_mux] /
+    [slack] give the O(1) equivalent (penalty <= slack), and
+    [delay_with_penalty] re-runs the naive analysis so tests can prove
+    the two agree. *)
+
+open Netlist
+
+type t
+
+val clk_to_q : float
+(** Flip-flop clock-to-output delay, ps. *)
+
+val analyze : Circuit.t -> t
+(** @raise Invalid_argument if the circuit contains gates without a
+    library cell (run {!Techmap.Mapper.map} first). *)
+
+val circuit : t -> Circuit.t
+
+val arrival : t -> int -> float
+(** Arrival time at the node output, ps. *)
+
+val required : t -> int -> float
+(** Latest tolerable arrival such that the critical delay holds. *)
+
+val slack : t -> int -> float
+
+val critical_delay : t -> float
+(** Maximum arrival over all timing endpoints, ps. *)
+
+val gate_delay : t -> int -> float
+(** Delay assigned to the node (0 for sources and output markers). *)
+
+val load : t -> int -> float
+
+val critical_path : t -> int list
+(** One maximal path as node ids, source first. *)
+
+val critical_endpoints : t -> int list
+(** Endpoints (output markers / flip-flops) whose arrival equals the
+    critical delay. *)
+
+val delay_with_penalty : Circuit.t -> penalties:(int * float) list -> float
+(** Full re-analysis with extra arrival penalties added at the given
+    source nodes; the naive method AddMUX uses in the paper.
+    @raise Invalid_argument if a penalised node is not a source. *)
+
+val fits_without_slowdown : t -> source:int -> penalty:float -> bool
+(** Incremental equivalent: true iff delaying [source]'s launch by
+    [penalty] keeps the critical delay unchanged (slack test, with the
+    convention that an unloaded source always fits). *)

@@ -1,0 +1,117 @@
+open Netlist
+
+type event = {
+  time : float;
+  seq : int; (* FIFO tie-break for equal times *)
+  target : int;
+}
+
+type t = {
+  timing : Analysis.t;
+  circuit : Circuit.t;
+  values : bool array;
+  transitions : int array;
+  mutable total : int;
+  queue : event Util.Heap.t;
+  mutable seq : int;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create timing =
+  let c = Analysis.circuit timing in
+  let n = Circuit.node_count c in
+  {
+    timing;
+    circuit = c;
+    values = Array.make n false;
+    transitions = Array.make n 0;
+    total = 0;
+    queue = Util.Heap.create compare_event;
+    seq = 0;
+  }
+
+let circuit t = t.circuit
+let values t = t.values
+let transitions t = t.transitions
+let total_transitions t = t.total
+
+let reset_counts t =
+  Array.fill t.transitions 0 (Array.length t.transitions) 0;
+  t.total <- 0
+
+let eval_node t id =
+  let nd = Circuit.node t.circuit id in
+  Gate.eval_bool nd.kind (Array.map (fun f -> t.values.(f)) nd.fanins)
+
+let init t sources =
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node t.circuit id in
+      if Gate.is_source nd.kind then t.values.(id) <- sources id
+      else t.values.(id) <- eval_node t nd.id)
+    (Circuit.topo_order t.circuit);
+  Util.Heap.clear t.queue;
+  reset_counts t
+
+let schedule t ~time target =
+  t.seq <- t.seq + 1;
+  Util.Heap.push t.queue { time; seq = t.seq; target }
+
+let record t id =
+  t.transitions.(id) <- t.transitions.(id) + 1;
+  t.total <- t.total + 1
+
+(* Transport-delay semantics: when an input of a gate changes at time
+   T, the gate re-evaluates at time T + delay(gate); if the recomputed
+   value differs from its current output, the output changes (counting
+   a transition) and its readers are notified in turn. A later
+   cancelling change simply produces another event — that pulse pair
+   is exactly the glitch being counted. *)
+let apply t changes =
+  let caused = ref 0 in
+  let change id v =
+    if t.values.(id) <> v then begin
+      t.values.(id) <- v;
+      record t id;
+      incr caused;
+      Array.iter
+        (fun succ ->
+          let snd_ = Circuit.node t.circuit succ in
+          if not (Gate.is_source snd_.Circuit.kind) then
+            schedule t ~time:(Analysis.gate_delay t.timing succ) succ)
+        (Circuit.node t.circuit id).Circuit.fanouts
+    end
+  in
+  List.iter
+    (fun (id, v) ->
+      if not (Gate.is_source (Circuit.node t.circuit id).Circuit.kind) then
+        invalid_arg "Glitch_sim.apply: not a source node";
+      change id v)
+    changes;
+  (* drain: events carry absolute re-evaluation times relative to the
+     change-set origin *)
+  let rec drain () =
+    if not (Util.Heap.is_empty t.queue) then begin
+      let ev = Util.Heap.pop t.queue in
+      let v = eval_node t ev.target in
+      if t.values.(ev.target) <> v then begin
+        t.values.(ev.target) <- v;
+        record t ev.target;
+        incr caused;
+        Array.iter
+          (fun succ ->
+            let snd_ = Circuit.node t.circuit succ in
+            if not (Gate.is_source snd_.Circuit.kind) then
+              schedule t
+                ~time:(ev.time +. Analysis.gate_delay t.timing succ)
+                succ)
+          (Circuit.node t.circuit ev.target).Circuit.fanouts
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  !caused

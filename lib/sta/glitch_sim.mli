@@ -1,0 +1,41 @@
+(** Delay-annotated (transport-delay) event simulation.
+
+    The power measurements in {!Scan.Scan_sim} use zero-delay
+    semantics: one settled value per node per cycle, so hazards /
+    glitches are invisible. This simulator replays source change sets
+    through the {!Analysis} gate delays with transport-delay semantics,
+    counting every transient transition — an upper bound on the real
+    (inertially filtered) activity. Comparing its counts with the
+    zero-delay counts quantifies how much the Eq. (1) figures
+    under-estimate (the "glitch factor"), which is an ablation the
+    bench harness reports. Final values always agree with the
+    zero-delay simulator (the circuit is combinational between
+    sources). *)
+
+open Netlist
+
+type t
+
+val create : Analysis.t -> t
+(** The timing analysis supplies the circuit and per-gate delays. *)
+
+val circuit : t -> Circuit.t
+
+val init : t -> (int -> bool) -> unit
+(** Settle every source at its value; resets counters (the settling
+    itself is not counted). *)
+
+val apply : t -> (int * bool) list -> int
+(** Apply one source change set and simulate to quiescence; returns
+    the number of transitions caused (including glitches) and adds
+    them to the per-node counters.
+    @raise Invalid_argument if a node is not a source. *)
+
+val values : t -> bool array
+
+val transitions : t -> int array
+(** Accumulated per-node transition counts (aliased). *)
+
+val total_transitions : t -> int
+
+val reset_counts : t -> unit

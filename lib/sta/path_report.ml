@@ -1,0 +1,117 @@
+open Netlist
+
+type path = {
+  nodes : int list;
+  arrival_ps : float;
+  endpoint : int;
+  slack_ps : float;
+}
+
+let endpoint_arrival t c id =
+  let nd = Circuit.node c id in
+  match nd.Circuit.kind with
+  | Gate.Dff -> Analysis.arrival t nd.Circuit.fanins.(0)
+  | Gate.Output | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand
+  | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    Analysis.arrival t id
+
+(* Walk back from [start] through the latest-arriving fanins. *)
+let trace_back t c start =
+  let eps = 1e-9 in
+  let rec back id acc =
+    let nd = Circuit.node c id in
+    let acc = id :: acc in
+    if Gate.is_source nd.Circuit.kind || Array.length nd.Circuit.fanins = 0 then
+      acc
+    else begin
+      let target = Analysis.arrival t id -. Analysis.gate_delay t id in
+      let pick = ref nd.Circuit.fanins.(0) in
+      Array.iter
+        (fun f -> if Float.abs (Analysis.arrival t f -. target) < eps then pick := f)
+        nd.Circuit.fanins;
+      back !pick acc
+    end
+  in
+  back start []
+
+let top_paths ?(count = 5) t =
+  let c = Analysis.circuit t in
+  let endpoints =
+    Array.to_list (Circuit.outputs c) @ Array.to_list (Circuit.dffs c)
+  in
+  let scored =
+    List.filter_map
+      (fun ep ->
+        let nd = Circuit.node c ep in
+        if Array.length nd.Circuit.fanins = 0 then None
+        else Some (ep, endpoint_arrival t c ep))
+      endpoints
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  List.map
+    (fun (ep, arrival) ->
+      let nd = Circuit.node c ep in
+      let start =
+        match nd.Circuit.kind with
+        | Gate.Dff -> nd.Circuit.fanins.(0)
+        | Gate.Output | Gate.Input | Gate.Buf | Gate.Not | Gate.And
+        | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+          ep
+      in
+      {
+        nodes = trace_back t c start;
+        arrival_ps = arrival;
+        endpoint = ep;
+        slack_ps = Analysis.critical_delay t -. arrival;
+      })
+    (take count scored)
+
+let slack_histogram ?(bins = 10) t =
+  let c = Analysis.circuit t in
+  let slacks =
+    Array.to_list (Circuit.nodes c)
+    |> List.filter_map (fun nd ->
+           if Gate.is_logic nd.Circuit.kind then Some (Analysis.slack t nd.Circuit.id)
+           else None)
+  in
+  match slacks with
+  | [] -> []
+  | first :: _ ->
+    let lo = List.fold_left Float.min first slacks in
+    let hi = List.fold_left Float.max first slacks in
+    let span = Float.max (hi -. lo) 1e-9 in
+    let width = span /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun s ->
+        let b = min (bins - 1) (int_of_float ((s -. lo) /. width)) in
+        counts.(b) <- counts.(b) + 1)
+      slacks;
+    List.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width),
+         counts.(b)))
+
+let pp_path c fmt p =
+  let names =
+    List.map (fun id -> (Circuit.node c id).Circuit.name) p.nodes
+  in
+  Format.fprintf fmt "%.1f ps (slack %.1f) -> %s : %s" p.arrival_ps p.slack_ps
+    (Circuit.node c p.endpoint).Circuit.name
+    (String.concat " -> " names)
+
+let pp_report ?count c fmt t =
+  Format.fprintf fmt "critical delay: %.1f ps@." (Analysis.critical_delay t);
+  List.iteri
+    (fun i p -> Format.fprintf fmt "  #%d %a@." (i + 1) (pp_path c) p)
+    (top_paths ?count t);
+  Format.fprintf fmt "slack histogram (logic nodes):@.";
+  List.iter
+    (fun (lo, hi, n) ->
+      Format.fprintf fmt "  [%7.1f, %7.1f) %5d %s@." lo hi n
+        (String.make (min 60 n) '#'))
+    (slack_histogram t)

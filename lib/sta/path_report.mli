@@ -1,0 +1,25 @@
+(** Timing reports on top of {!Analysis}: top-K critical paths and a slack
+    histogram, in the style of a signoff tool's [report_timing]. *)
+
+open Netlist
+
+type path = {
+  nodes : int list;  (** source first *)
+  arrival_ps : float;  (** data arrival at the endpoint *)
+  endpoint : int;  (** output marker or flip-flop node id *)
+  slack_ps : float;
+}
+
+val top_paths : ?count:int -> Analysis.t -> path list
+(** The [count] (default 5) worst paths, one per distinct endpoint,
+    sorted by decreasing arrival. *)
+
+val slack_histogram : ?bins:int -> Analysis.t -> (float * float * int) list
+(** [(lo, hi, population)] buckets over the slack range of all logic
+    nodes; default 10 bins. *)
+
+val pp_path : Circuit.t -> Format.formatter -> path -> unit
+
+val pp_report : ?count:int -> Circuit.t -> Format.formatter -> Analysis.t -> unit
+(** Critical delay, top paths with per-stage names, and the slack
+    histogram. *)

@@ -1,0 +1,6 @@
+(* Umbrella module of the [sta] library: the timing analysis itself,
+   the reporting layer, and the delay-annotated glitch simulator. *)
+
+include Analysis
+module Path_report = Path_report
+module Glitch_sim = Glitch_sim

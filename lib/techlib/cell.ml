@@ -1,0 +1,74 @@
+type t =
+  | Inv
+  | Nand of int
+  | Nor of int
+
+let equal (a : t) (b : t) = a = b
+
+let max_fanin = 4
+
+let all =
+  [ Inv; Nand 2; Nand 3; Nand 4; Nor 2; Nor 3; Nor 4 ]
+
+let name = function
+  | Inv -> "INV"
+  | Nand k -> Printf.sprintf "NAND%d" k
+  | Nor k -> Printf.sprintf "NOR%d" k
+
+let fanin = function
+  | Inv -> 1
+  | Nand k | Nor k -> k
+
+let check k cell =
+  if k < 2 || k > max_fanin then None else Some cell
+
+let of_gate kind ~fanin =
+  match kind with
+  | Netlist.Gate.Not -> if fanin = 1 then Some Inv else None
+  | Netlist.Gate.Nand -> check fanin (Nand fanin)
+  | Netlist.Gate.Nor -> check fanin (Nor fanin)
+  | Netlist.Gate.Input | Netlist.Gate.Dff | Netlist.Gate.Output
+  | Netlist.Gate.Buf | Netlist.Gate.And | Netlist.Gate.Or | Netlist.Gate.Xor
+  | Netlist.Gate.Xnor ->
+    None
+
+(* Representative 45 nm values. Series stacks grow pin size with fanin
+   (inputs are widened to keep drive), NOR pays for the slow series
+   PMOS pull-up. *)
+let input_cap = function
+  | Inv -> 1.2
+  | Nand k -> 1.2 +. (0.3 *. float_of_int k)
+  | Nor k -> 1.3 +. (0.35 *. float_of_int k)
+
+let internal_cap = function
+  | Inv -> 0.3
+  | Nand k -> 0.25 *. float_of_int (k - 1)
+  | Nor k -> 0.3 *. float_of_int (k - 1)
+
+let drive_res = function
+  | Inv -> 8.0
+  | Nand k -> 8.0 +. (1.5 *. float_of_int k)
+  | Nor k -> 9.0 +. (2.5 *. float_of_int k)
+
+let intrinsic_delay = function
+  | Inv -> 12.0
+  | Nand k -> 12.0 +. (4.0 *. float_of_int k)
+  | Nor k -> 13.0 +. (5.0 *. float_of_int k)
+
+let delay cell ~load = intrinsic_delay cell +. (drive_res cell *. load)
+
+let dff_d_cap = 2.0
+let output_load_cap = 2.5
+let wire_cap_per_fanout = 0.4
+
+(* A transmission-gate MUX2 after the scan cell: one multiplexer
+   intrinsic delay plus the extra loading it presents. *)
+let mux2_delay_penalty = 24.0
+let mux2_area = 1.9
+
+let area = function
+  | Inv -> 0.6
+  | Nand k -> 0.45 *. float_of_int k
+  | Nor k -> 0.5 *. float_of_int k
+
+let pp fmt c = Format.pp_print_string fmt (name c)

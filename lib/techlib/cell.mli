@@ -1,0 +1,67 @@
+(** Standard-cell library: the paper maps every circuit onto NAND, NOR
+    and inverter cells. Pin capacitances, drive resistance and
+    intrinsic delay feed the dynamic-power model (Eq. (1)) and the
+    static timing analysis; leakage comes from {!Leakage_table}.
+
+    Electrical units: capacitance in fF, resistance in kOhm, delay in
+    ps (kOhm x fF = ps), so delays compose linearly. *)
+
+type t =
+  | Inv
+  | Nand of int  (** fanin 2..4 *)
+  | Nor of int  (** fanin 2..4 *)
+
+val equal : t -> t -> bool
+
+val all : t list
+(** Every cell of the library, INV first. *)
+
+val name : t -> string
+
+val fanin : t -> int
+
+val of_gate : Netlist.Gate.kind -> fanin:int -> t option
+(** The library cell implementing a mapped gate; [None] for kinds not
+    in the library (the techmap guarantees they never appear). *)
+
+val max_fanin : int
+(** Largest supported gate fanin (4); the techmap decomposes wider
+    gates into trees. *)
+
+val input_cap : t -> float
+(** Capacitance of one input pin, fF. *)
+
+val internal_cap : t -> float
+(** Lumped internal-node capacitance switched together with the
+    output (the C_ij term of Eq. (1)), fF. *)
+
+val drive_res : t -> float
+(** Equivalent output drive resistance, kOhm. *)
+
+val intrinsic_delay : t -> float
+(** Zero-load delay, ps. *)
+
+val delay : t -> load:float -> float
+(** [intrinsic + drive_res * load], ps. *)
+
+val dff_d_cap : float
+(** Load presented by a flip-flop D pin, fF. *)
+
+val output_load_cap : float
+(** Load presented by a primary output / pad, fF. *)
+
+val wire_cap_per_fanout : float
+(** Estimated interconnect capacitance per fanout branch, fF. *)
+
+val mux2_delay_penalty : float
+(** Extra delay inserted on a pseudo-input when AddMUX places a
+    2-to-1 multiplexer after the scan cell, ps (intrinsic mux delay
+    plus its input-pin loading of the scan cell output). *)
+
+val mux2_area : float
+(** Area of the inserted multiplexer, um^2 (reported as overhead). *)
+
+val area : t -> float
+(** Cell area, um^2. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Netlist
+
+let node_load c id =
+  let nd = Circuit.node c id in
+  match nd.Circuit.kind with
+  | Gate.Output -> 0.0
+  | Gate.Input | Gate.Dff | Gate.Buf | Gate.Not | Gate.And | Gate.Nand
+  | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+    let pin_cap acc succ =
+      let s = Circuit.node c succ in
+      match s.Circuit.kind with
+      | Gate.Dff -> acc +. Techlib.Cell.dff_d_cap
+      | Gate.Output -> acc +. Techlib.Cell.output_load_cap
+      | Gate.Input -> acc
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        (match Mapper.cell_of_node c succ with
+        | Some cell -> acc +. Techlib.Cell.input_cap cell
+        | None -> acc)
+    in
+    let pins = Array.fold_left pin_cap 0.0 nd.Circuit.fanouts in
+    pins
+    +. (Techlib.Cell.wire_cap_per_fanout
+        *. float_of_int (Array.length nd.Circuit.fanouts))
+
+let all c = Array.init (Circuit.node_count c) (node_load c)

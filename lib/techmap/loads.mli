@@ -1,0 +1,12 @@
+(** Capacitive load seen by every node output of a mapped circuit:
+    fanout input-pin capacitances (library cells, flip-flop D pins,
+    primary-output pads) plus estimated wiring. Shared by the static
+    timing analysis and the dynamic-power model. Unit: fF. *)
+
+open Netlist
+
+val node_load : Circuit.t -> int -> float
+(** @raise Invalid_argument if a fanout gate has no library cell. *)
+
+val all : Circuit.t -> float array
+(** [node_load] for every node id (Output markers get 0). *)

@@ -1,0 +1,128 @@
+open Netlist
+
+let max_fanin = Techlib.Cell.max_fanin
+
+let is_mapped c =
+  Array.for_all
+    (fun nd ->
+      (not (Gate.is_logic nd.Circuit.kind))
+      || Techlib.Cell.of_gate nd.Circuit.kind
+           ~fanin:(Array.length nd.Circuit.fanins)
+         <> None)
+    (Circuit.nodes c)
+
+let cell_of_node c id =
+  let nd = Circuit.node c id in
+  if not (Gate.is_logic nd.kind) then None
+  else
+    match Techlib.Cell.of_gate nd.kind ~fanin:(Array.length nd.fanins) with
+    | Some cell -> Some cell
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Techmap.cell_of_node: %s %S has no library cell"
+           (Gate.to_string nd.kind) nd.name)
+
+(* Fresh-name generator for gates introduced by the mapping. *)
+type namer = {
+  mutable counter : int;
+  prefix : string;
+}
+
+let fresh nm =
+  nm.counter <- nm.counter + 1;
+  Printf.sprintf "%s%d" nm.prefix nm.counter
+
+(* Split a list into chunks of at most [n] elements. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let chunk, rest = take n [] xs in
+    chunk :: chunks n rest
+
+let map c =
+  let b = Circuit.Builder.create ~name:(Circuit.name c) () in
+  let nm = { counter = 0; prefix = "m$" } in
+  let mk_inv x = Circuit.Builder.add_gate b Gate.Not (fresh nm) [ x ] in
+  (* NAND of arbitrary width: wide inputs are first collapsed through
+     AND subtrees (NAND+INV), keeping every physical gate within the
+     library's fanin limit. *)
+  let rec mk_nand xs =
+    match xs with
+    | [] -> invalid_arg "Techmap.mk_nand: no inputs"
+    | [ x ] -> mk_inv x
+    | xs when List.length xs <= max_fanin ->
+      Circuit.Builder.add_gate b Gate.Nand (fresh nm) xs
+    | xs ->
+      let groups = chunks max_fanin xs in
+      mk_nand (List.map mk_and groups)
+  and mk_and xs =
+    match xs with
+    | [ x ] -> x
+    | xs -> mk_inv (mk_nand xs)
+  in
+  let rec mk_nor xs =
+    match xs with
+    | [] -> invalid_arg "Techmap.mk_nor: no inputs"
+    | [ x ] -> mk_inv x
+    | xs when List.length xs <= max_fanin ->
+      Circuit.Builder.add_gate b Gate.Nor (fresh nm) xs
+    | xs ->
+      let groups = chunks max_fanin xs in
+      mk_nor (List.map mk_or groups)
+  and mk_or xs =
+    match xs with
+    | [ x ] -> x
+    | xs -> mk_inv (mk_nor xs)
+  in
+  (* XOR a b = NAND(NAND(a,t), NAND(b,t)) with t = NAND(a,b). *)
+  let mk_xor2 a b1 =
+    let t = mk_nand [ a; b1 ] in
+    mk_nand [ mk_nand [ a; t ]; mk_nand [ b1; t ] ]
+  in
+  let mk_xor xs =
+    match xs with
+    | [] -> invalid_arg "Techmap.mk_xor: no inputs"
+    | x :: rest -> List.fold_left mk_xor2 x rest
+  in
+  let mapped = Array.make (Circuit.node_count c) (-1) in
+  let resolve id = mapped.(id) in
+  let dff_pending = ref [] in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      let new_id =
+        match nd.kind with
+        | Gate.Input -> Circuit.Builder.add_input b nd.name
+        | Gate.Dff ->
+          let nid = Circuit.Builder.declare_dff b nd.name in
+          dff_pending := (nid, nd.fanins.(0)) :: !dff_pending;
+          nid
+        | Gate.Output -> -2 (* deferred below, after all gates exist *)
+        | Gate.Buf -> resolve nd.fanins.(0)
+        | Gate.Not -> mk_inv (resolve nd.fanins.(0))
+        | Gate.And ->
+          mk_inv (mk_nand (Array.to_list (Array.map resolve nd.fanins)))
+        | Gate.Nand -> mk_nand (Array.to_list (Array.map resolve nd.fanins))
+        | Gate.Or ->
+          mk_inv (mk_nor (Array.to_list (Array.map resolve nd.fanins)))
+        | Gate.Nor -> mk_nor (Array.to_list (Array.map resolve nd.fanins))
+        | Gate.Xor -> mk_xor (Array.to_list (Array.map resolve nd.fanins))
+        | Gate.Xnor ->
+          mk_inv (mk_xor (Array.to_list (Array.map resolve nd.fanins)))
+      in
+      mapped.(id) <- new_id)
+    (Circuit.topo_order c);
+  List.iter
+    (fun (nid, d) -> Circuit.Builder.connect_dff b nid ~d:(resolve d))
+    !dff_pending;
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      ignore (Circuit.Builder.add_output b nd.name (resolve nd.fanins.(0))))
+    (Circuit.outputs c);
+  Circuit.Builder.build b

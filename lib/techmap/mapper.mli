@@ -1,0 +1,26 @@
+(** Technology mapping onto the paper's cell library.
+
+    The paper maps every benchmark onto a library containing only NAND
+    gates, NOR gates and inverters before measuring power. [map]
+    rewrites an arbitrary netlist into that form:
+
+    - AND/OR become NAND/NOR followed by an inverter,
+    - XOR/XNOR expand into NAND2 networks,
+    - gates wider than {!Techlib.Cell.max_fanin} decompose into trees,
+    - buffers are dissolved into wires.
+
+    The result computes the same outputs and next-state functions
+    (checked by the test suite via random co-simulation). *)
+
+open Netlist
+
+val map : Circuit.t -> Circuit.t
+
+val is_mapped : Circuit.t -> bool
+(** True when every logic gate of the circuit is implementable by a
+    library cell ({!Techlib.Cell.of_gate} succeeds). *)
+
+val cell_of_node : Circuit.t -> int -> Techlib.Cell.t option
+(** Library cell of a node; [None] for Input/Dff/Output markers.
+    @raise Invalid_argument on a logic gate with no library cell
+    (i.e. when the circuit is not mapped). *)

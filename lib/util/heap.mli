@@ -1,0 +1,21 @@
+(** Mutable binary min-heap on a caller-supplied priority. *)
+
+type 'a t
+
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+(** [create compare]: smaller elements pop first. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Remove and return the minimum.
+    @raise Not_found on an empty heap. *)
+
+val peek : 'a t -> 'a
+(** @raise Not_found on an empty heap. *)
+
+val clear : 'a t -> unit

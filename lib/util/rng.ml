@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.mul (Int64.of_int (seed + 1)) golden }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n = 1 then 0
+  else begin
+    let r = Int64.shift_right_logical (next_int64 t) 1 in
+    Int64.to_int (Int64.rem r (Int64.of_int n))
+  end
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool_array t n = Array.init n (fun _ -> bool t)
+
+let split t = { state = next_int64 t }

@@ -1,0 +1,30 @@
+(** Small deterministic pseudo-random generator (SplitMix64).
+
+    Every stochastic component of the tool (circuit generation, random
+    pattern generation, input-vector-control sampling) takes an
+    explicit seed and goes through this module, so whole-flow runs are
+    reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+
+val bits : t -> int
+(** 30 uniformly random bits (non-negative int). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool_array : t -> int -> bool array
+
+val split : t -> t
+(** Independent child generator (for parallel sub-streams). *)

@@ -1,0 +1,98 @@
+(* ISCAS89 .bench parser and writer. *)
+
+open Netlist
+
+let check_parse_s27 () =
+  let c = Bench_parser.parse_string ~name:"s27" Circuits.s27_bench_text in
+  let s = Circuit.stats c in
+  Alcotest.(check int) "inputs" 4 s.Circuit.n_inputs;
+  Alcotest.(check int) "outputs" 1 s.Circuit.n_outputs;
+  Alcotest.(check int) "dffs" 3 s.Circuit.n_dffs;
+  Alcotest.(check int) "gates" 10 s.Circuit.n_gates
+
+let check_comments_and_blank_lines () =
+  let text = "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(a)\n" in
+  let c = Bench_parser.parse_string text in
+  Alcotest.(check int) "one input" 1 (Array.length (Circuit.inputs c))
+
+let check_case_insensitive_keywords () =
+  let text = "input(a)\ninput(b)\noutput(y)\ny = nand(a, b)\n" in
+  let c = Bench_parser.parse_string text in
+  Alcotest.(check int) "gate parsed" 1 (Circuit.gate_count c)
+
+let check_forward_references () =
+  (* y uses z before z is defined *)
+  let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(a)\n" in
+  let c = Bench_parser.parse_string text in
+  Alcotest.(check int) "two gates" 2 (Circuit.gate_count c)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  needle = "" || go 0
+
+let expect_parse_error ?(substring = "") text () =
+  match Bench_parser.parse_string text with
+  | exception Bench_parser.Parse_error (_, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S contains %S" msg substring)
+      true
+      (contains ~needle:substring msg)
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let check_undefined_signal =
+  expect_parse_error ~substring:"undefined" "INPUT(a)\ny = NOT(zz)\nOUTPUT(y)\n"
+
+let check_double_definition =
+  expect_parse_error ~substring:"twice" "INPUT(a)\na = NOT(a)\n"
+
+let check_unknown_gate =
+  expect_parse_error ~substring:"unknown gate" "INPUT(a)\ny = FOO(a)\n"
+
+let check_bad_arity =
+  expect_parse_error "INPUT(a)\ny = NAND(a)\nOUTPUT(y)\n"
+
+let check_roundtrip () =
+  let c = Circuits.s27 () in
+  let text = Bench_writer.to_string c in
+  let c' = Bench_parser.parse_string ~name:"s27" text in
+  let s = Circuit.stats c and s' = Circuit.stats c' in
+  Alcotest.(check bool) "same stats" true (s = s');
+  (* functional equivalence on a few vectors *)
+  let sim = Sim.Seq_sim.create c and sim' = Sim.Seq_sim.create c' in
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 20 do
+    let v = Util.Rng.bool_array rng 4 in
+    Alcotest.(check (array bool))
+      "outputs equal"
+      (Sim.Seq_sim.step sim v)
+      (Sim.Seq_sim.step sim' v)
+  done
+
+let check_roundtrip_generated () =
+  let c =
+    Circuits.generate
+      { Circuits.name = "rt"; n_pi = 5; n_po = 3; n_ff = 4; n_gates = 40; seed = 7 }
+  in
+  let c' = Bench_parser.parse_string (Bench_writer.to_string c) in
+  Alcotest.(check int) "gates" (Circuit.gate_count c) (Circuit.gate_count c');
+  Alcotest.(check int)
+    "dffs"
+    (Array.length (Circuit.dffs c))
+    (Array.length (Circuit.dffs c'))
+
+let suite =
+  [
+    Alcotest.test_case "parse s27" `Quick check_parse_s27;
+    Alcotest.test_case "comments and blanks" `Quick check_comments_and_blank_lines;
+    Alcotest.test_case "case-insensitive keywords" `Quick
+      check_case_insensitive_keywords;
+    Alcotest.test_case "forward references" `Quick check_forward_references;
+    Alcotest.test_case "undefined signal" `Quick check_undefined_signal;
+    Alcotest.test_case "double definition" `Quick check_double_definition;
+    Alcotest.test_case "unknown gate" `Quick check_unknown_gate;
+    Alcotest.test_case "bad arity" `Quick check_bad_arity;
+    Alcotest.test_case "writer/parser roundtrip (s27)" `Quick check_roundtrip;
+    Alcotest.test_case "writer/parser roundtrip (generated)" `Quick
+      check_roundtrip_generated;
+  ]

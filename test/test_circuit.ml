@@ -1,0 +1,198 @@
+(* Netlist IR: builder validation, topology, levels, fanout wiring,
+   permutation, copy semantics. *)
+
+open Netlist
+
+(* a -> NAND(a,b) -> NOT -> po, with a DFF fed back *)
+let small () =
+  let b = Circuit.Builder.create ~name:"small" () in
+  let a = Circuit.Builder.add_input b "a" in
+  let bb = Circuit.Builder.add_input b "b" in
+  let ff = Circuit.Builder.declare_dff b "ff" in
+  let g1 = Circuit.Builder.add_gate b Gate.Nand "g1" [ a; bb ] in
+  let g2 = Circuit.Builder.add_gate b Gate.Nor "g2" [ g1; ff ] in
+  let g3 = Circuit.Builder.add_gate b Gate.Not "g3" [ g2 ] in
+  Circuit.Builder.connect_dff b ff ~d:g3;
+  let _ = Circuit.Builder.add_output b "po" g3 in
+  Circuit.Builder.build b
+
+let check_counts () =
+  let c = small () in
+  let s = Circuit.stats c in
+  Alcotest.(check int) "inputs" 2 s.Circuit.n_inputs;
+  Alcotest.(check int) "outputs" 1 s.Circuit.n_outputs;
+  Alcotest.(check int) "dffs" 1 s.Circuit.n_dffs;
+  Alcotest.(check int) "gates" 3 s.Circuit.n_gates;
+  (* the primary-output marker adds one virtual level *)
+  Alcotest.(check int) "depth" 4 s.Circuit.max_level
+
+let check_sources_order () =
+  let c = small () in
+  let srcs = Circuit.sources c in
+  Alcotest.(check int) "count" 3 (Array.length srcs);
+  Alcotest.(check string) "pi first" "a" (Circuit.node c srcs.(0)).Circuit.name;
+  Alcotest.(check string) "dff last" "ff" (Circuit.node c srcs.(2)).Circuit.name
+
+let check_topo_respects_fanins () =
+  let c = small () in
+  let pos = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) (Circuit.topo_order c);
+  Array.iter
+    (fun nd ->
+      if not (Gate.is_source nd.Circuit.kind) then
+        Array.iter
+          (fun f ->
+            Alcotest.(check bool)
+              (Printf.sprintf "fanin %d before node %d" f nd.Circuit.id)
+              true
+              (pos.(f) < pos.(nd.Circuit.id)))
+          nd.Circuit.fanins)
+    (Circuit.nodes c)
+
+let check_fanouts_are_inverse_of_fanins () =
+  let c = small () in
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun f ->
+          let driver = Circuit.node c f in
+          Alcotest.(check bool) "fanout contains reader" true
+            (Array.exists (fun s -> s = nd.Circuit.id) driver.Circuit.fanouts))
+        nd.Circuit.fanins)
+    (Circuit.nodes c)
+
+let check_find () =
+  let c = small () in
+  Alcotest.(check string) "find g2" "g2"
+    (Circuit.node c (Circuit.find c "g2")).Circuit.name;
+  Alcotest.(check bool) "find_opt missing" true
+    (Circuit.find_opt c "nope" = None)
+
+let check_levels () =
+  let c = small () in
+  Alcotest.(check int) "source level" 0 (Circuit.level c (Circuit.find c "a"));
+  Alcotest.(check int) "g1 level" 1 (Circuit.level c (Circuit.find c "g1"));
+  Alcotest.(check int) "g2 level" 2 (Circuit.level c (Circuit.find c "g2"));
+  Alcotest.(check int) "g3 level" 3 (Circuit.level c (Circuit.find c "g3"))
+
+let check_dangling_dff_rejected () =
+  let b = Circuit.Builder.create () in
+  let _ = Circuit.Builder.add_input b "a" in
+  let _ = Circuit.Builder.declare_dff b "ff" in
+  Alcotest.check_raises "dangling"
+    (Invalid_argument "Circuit.Builder.build: dangling DFF \"ff\"") (fun () ->
+      ignore (Circuit.Builder.build b))
+
+let check_duplicate_name_rejected () =
+  let b = Circuit.Builder.create () in
+  let _ = Circuit.Builder.add_input b "a" in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Circuit.Builder: duplicate name \"a\"") (fun () ->
+      ignore (Circuit.Builder.add_input b "a"))
+
+let check_cycle_rejected () =
+  (* combinational loop g1 -> g2 -> g1 through forward references *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.add_input b "a" in
+  (* gate ids are assigned sequentially: g1 = 1, g2 = 2 *)
+  let g1 = Circuit.Builder.add_gate b Gate.Nand "g1" [ a; 2 ] in
+  let _ = Circuit.Builder.add_gate b Gate.Nand "g2" [ a; g1 ] in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Circuit.Builder.build: combinational cycle") (fun () ->
+      ignore (Circuit.Builder.build b))
+
+let check_sequential_feedback_allowed () =
+  (* feedback through a DFF is fine: ff -> g -> ff *)
+  let b = Circuit.Builder.create () in
+  let ff = Circuit.Builder.declare_dff b "ff" in
+  let g = Circuit.Builder.add_gate b Gate.Not "g" [ ff ] in
+  Circuit.Builder.connect_dff b ff ~d:g;
+  let _ = Circuit.Builder.add_input b "unused_pi" in
+  let _ = Circuit.Builder.add_output b "po" g in
+  let c = Circuit.Builder.build b in
+  Alcotest.(check int) "built" 4 (Circuit.node_count c)
+
+let check_permute_fanins () =
+  let c = small () in
+  let g1 = Circuit.find c "g1" in
+  let before = Array.copy (Circuit.node c g1).Circuit.fanins in
+  Circuit.permute_fanins c g1 [| 1; 0 |];
+  let after = (Circuit.node c g1).Circuit.fanins in
+  Alcotest.(check int) "swapped 0" before.(1) after.(0);
+  Alcotest.(check int) "swapped 1" before.(0) after.(1)
+
+let check_permute_rejects_asymmetric () =
+  let c = small () in
+  let g3 = Circuit.find c "g3" in
+  Alcotest.check_raises "not gate"
+    (Invalid_argument "Circuit.permute_fanins: gate is not symmetric")
+    (fun () -> Circuit.permute_fanins c g3 [| 0 |])
+
+let check_permute_rejects_non_permutation () =
+  let c = small () in
+  let g1 = Circuit.find c "g1" in
+  Alcotest.check_raises "dup index"
+    (Invalid_argument "Circuit.permute_fanins: not a permutation") (fun () ->
+      Circuit.permute_fanins c g1 [| 0; 0 |])
+
+let check_copy_isolation () =
+  let c = small () in
+  let c' = Circuit.copy c in
+  let g1 = Circuit.find c "g1" in
+  let orig = Array.copy (Circuit.node c g1).Circuit.fanins in
+  Circuit.permute_fanins c' g1 [| 1; 0 |];
+  Alcotest.(check bool) "original untouched" true
+    ((Circuit.node c g1).Circuit.fanins = orig);
+  Alcotest.(check bool) "copy changed" true
+    ((Circuit.node c' g1).Circuit.fanins <> orig)
+
+(* Property: generated circuits always topo-sort and their levels are
+   consistent. *)
+let prop_generated_well_formed =
+  QCheck.Test.make ~name:"generated circuits well-formed" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         quad (int_range 2 8) (int_range 1 6) (int_range 0 10) (int_range 10 120)))
+    (fun (n_pi, n_po, n_ff, n_gates) ->
+      let c =
+        Circuits.generate
+          { Circuits.name = "prop"; n_pi; n_po; n_ff; n_gates; seed = n_gates }
+      in
+      let ok = ref true in
+      let pos = Array.make (Circuit.node_count c) (-1) in
+      Array.iteri (fun i id -> pos.(id) <- i) (Circuit.topo_order c);
+      Array.iter
+        (fun nd ->
+          if not (Gate.is_source nd.Circuit.kind) then begin
+            Array.iter
+              (fun f -> if pos.(f) >= pos.(nd.Circuit.id) then ok := false)
+              nd.Circuit.fanins;
+            let lvl = Circuit.level c nd.Circuit.id in
+            Array.iter
+              (fun f -> if Circuit.level c f >= lvl then ok := false)
+              nd.Circuit.fanins
+          end)
+        (Circuit.nodes c);
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick check_counts;
+    Alcotest.test_case "sources order" `Quick check_sources_order;
+    Alcotest.test_case "topological order" `Quick check_topo_respects_fanins;
+    Alcotest.test_case "fanout wiring" `Quick check_fanouts_are_inverse_of_fanins;
+    Alcotest.test_case "find by name" `Quick check_find;
+    Alcotest.test_case "levels" `Quick check_levels;
+    Alcotest.test_case "dangling DFF rejected" `Quick check_dangling_dff_rejected;
+    Alcotest.test_case "duplicate name rejected" `Quick check_duplicate_name_rejected;
+    Alcotest.test_case "combinational cycle rejected" `Quick check_cycle_rejected;
+    Alcotest.test_case "sequential feedback allowed" `Quick
+      check_sequential_feedback_allowed;
+    Alcotest.test_case "permute fanins" `Quick check_permute_fanins;
+    Alcotest.test_case "permute rejects asymmetric" `Quick
+      check_permute_rejects_asymmetric;
+    Alcotest.test_case "permute rejects non-permutation" `Quick
+      check_permute_rejects_non_permutation;
+    Alcotest.test_case "copy isolation" `Quick check_copy_isolation;
+    QCheck_alcotest.to_alcotest prop_generated_well_formed;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "scanpower"
+    [
+      ("util", Test_util.suite);
+      ("logic", Test_logic.suite);
+      ("gate", Test_gate.suite);
+      ("circuit", Test_circuit.suite);
+      ("bench-format", Test_bench_format.suite);
+      ("techlib", Test_techlib.suite);
+      ("techmap", Test_techmap.suite);
+      ("sim", Test_sim.suite);
+      ("sta", Test_sta.suite);
+      ("power", Test_power.suite);
+      ("observability", Test_observability.suite);
+      ("atpg", Test_atpg.suite);
+      ("scan", Test_scan.suite);
+      ("mux-insertion", Test_mux_insertion.suite);
+      ("tns", Test_tns.suite);
+      ("justify", Test_justify.suite);
+      ("controlled-pattern", Test_controlled_pattern.suite);
+      ("core", Test_core_rest.suite);
+      ("reordering", Test_reordering.suite);
+      ("exports", Test_exports.suite);
+      ("multi-chain", Test_multi_chain.suite);
+      ("bdd", Test_bdd.suite);
+      ("glitch", Test_glitch.suite);
+      ("d-algorithm", Test_d_algorithm.suite);
+      ("scoap", Test_scoap.suite);
+      ("circuits", Test_circuits.suite);
+    ]

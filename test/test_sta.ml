@@ -1,0 +1,183 @@
+(* Static timing analysis: arrival/required consistency, critical path
+   structure, and equivalence of the naive and slack-based AddMUX
+   feasibility questions. *)
+
+open Netlist
+
+let mapped name = Techmap.Mapper.map (Circuits.by_name name)
+
+let check_positive_critical_delay () =
+  let c = mapped "s27" in
+  let t = Sta.analyze c in
+  Alcotest.(check bool) "positive" true (Sta.critical_delay t > 0.0)
+
+let check_arrivals_monotone_along_fanin () =
+  let c = mapped "s27" in
+  let t = Sta.analyze c in
+  Array.iter
+    (fun nd ->
+      if Gate.is_logic nd.Circuit.kind then
+        Array.iter
+          (fun f ->
+            Alcotest.(check bool) "arrival grows through gates" true
+              (Sta.arrival t nd.Circuit.id > Sta.arrival t f))
+          nd.Circuit.fanins)
+    (Circuit.nodes c)
+
+let check_slack_nonnegative () =
+  let c = mapped "s344" in
+  let t = Sta.analyze c in
+  Array.iter
+    (fun nd ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slack of %s" nd.Circuit.name)
+        true
+        (Sta.slack t nd.Circuit.id >= -1e-6))
+    (Circuit.nodes c)
+
+let check_critical_path_is_zero_slack () =
+  let c = mapped "s344" in
+  let t = Sta.analyze c in
+  let path = Sta.critical_path t in
+  Alcotest.(check bool) "path nonempty" true (path <> []);
+  List.iter
+    (fun id ->
+      let nd = Circuit.node c id in
+      match nd.Circuit.kind with
+      | Gate.Output | Gate.Dff -> ()
+      | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+      | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        Alcotest.(check bool)
+          (Printf.sprintf "zero slack on %s" nd.Circuit.name)
+          true
+          (Float.abs (Sta.slack t id) < 1e-6))
+    path
+
+let check_critical_path_is_connected () =
+  let c = mapped "s344" in
+  let t = Sta.analyze c in
+  let path = Sta.critical_path t in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      let nb = Circuit.node c b in
+      Alcotest.(check bool) "consecutive nodes connected" true
+        (Array.exists (fun f -> f = a) nb.Circuit.fanins);
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs path
+
+let check_endpoint_arrival_matches_critical () =
+  let c = mapped "s344" in
+  let t = Sta.analyze c in
+  let eps = Sta.critical_endpoints t in
+  Alcotest.(check bool) "has endpoints" true (eps <> [])
+
+let check_penalty_increases_delay_only_without_slack () =
+  let c = mapped "s344" in
+  let t = Sta.analyze c in
+  let base = Sta.critical_delay t in
+  Array.iter
+    (fun dff ->
+      let penalty = Techlib.Cell.mux2_delay_penalty in
+      let naive = Sta.delay_with_penalty c ~penalties:[ (dff, penalty) ] in
+      let fits_naive = naive <= base +. 1e-6 in
+      let fits_slack = Sta.fits_without_slowdown t ~source:dff ~penalty in
+      Alcotest.(check bool)
+        (Printf.sprintf "agree on %s" (Circuit.node c dff).Circuit.name)
+        fits_naive fits_slack)
+    (Circuit.dffs c)
+
+(* The naive/slack agreement must hold across many generated circuits
+   and penalty magnitudes: this is the claim that lets AddMUX run in
+   O(1) per candidate. *)
+let prop_naive_equals_slack =
+  QCheck.Test.make ~name:"naive re-STA equals slack test" ~count:15
+    (QCheck.make QCheck.Gen.(triple (int_range 1 500) (int_range 3 12) (int_range 5 60)))
+    (fun (seed, n_ff, penalty_i) ->
+      let c =
+        Circuits.generate
+          {
+            Circuits.name = "sta-prop";
+            n_pi = 5;
+            n_po = 3;
+            n_ff;
+            n_gates = 80;
+            seed;
+          }
+      in
+      let t = Sta.analyze c in
+      let base = Sta.critical_delay t in
+      let penalty = float_of_int penalty_i in
+      Array.for_all
+        (fun dff ->
+          let naive =
+            Sta.delay_with_penalty c ~penalties:[ (dff, penalty) ]
+            <= base +. 1e-6
+          in
+          naive = Sta.fits_without_slowdown t ~source:dff ~penalty)
+        (Circuit.dffs c))
+
+let check_zero_penalty_changes_nothing () =
+  let c = mapped "s27" in
+  let t = Sta.analyze c in
+  let dff = (Circuit.dffs c).(0) in
+  Alcotest.check (Alcotest.float 1e-9) "no penalty, same delay"
+    (Sta.critical_delay t)
+    (Sta.delay_with_penalty c ~penalties:[ (dff, 0.0) ])
+
+let check_penalty_rejects_gate_node () =
+  let c = mapped "s27" in
+  let gate =
+    Array.to_list (Circuit.nodes c)
+    |> List.find (fun nd -> Gate.is_logic nd.Circuit.kind)
+  in
+  Alcotest.check_raises "non-source"
+    (Invalid_argument "Sta.delay_with_penalty: not a source node") (fun () ->
+      ignore (Sta.delay_with_penalty c ~penalties:[ (gate.Circuit.id, 1.0) ]))
+
+let check_unmapped_rejected () =
+  let c = Circuits.s27 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sta.analyze c);
+       false
+     with Invalid_argument _ -> true)
+
+let check_gate_delay_components () =
+  let c = mapped "s27" in
+  let t = Sta.analyze c in
+  Array.iter
+    (fun nd ->
+      if Gate.is_logic nd.Circuit.kind then begin
+        let d = Sta.gate_delay t nd.Circuit.id in
+        Alcotest.(check bool) "gate delay positive" true (d > 0.0);
+        (* delay must equal the cell model at the node's load *)
+        match Techmap.Mapper.cell_of_node c nd.Circuit.id with
+        | Some cell ->
+          Alcotest.check (Alcotest.float 1e-9) "matches cell model"
+            (Techlib.Cell.delay cell ~load:(Sta.load t nd.Circuit.id))
+            d
+        | None -> Alcotest.fail "mapped circuit must have cells"
+      end)
+    (Circuit.nodes c)
+
+let suite =
+  [
+    Alcotest.test_case "positive critical delay" `Quick check_positive_critical_delay;
+    Alcotest.test_case "arrivals monotone" `Quick check_arrivals_monotone_along_fanin;
+    Alcotest.test_case "slack nonnegative" `Quick check_slack_nonnegative;
+    Alcotest.test_case "critical path zero slack" `Quick
+      check_critical_path_is_zero_slack;
+    Alcotest.test_case "critical path connected" `Quick
+      check_critical_path_is_connected;
+    Alcotest.test_case "critical endpoints" `Quick
+      check_endpoint_arrival_matches_critical;
+    Alcotest.test_case "naive vs slack on s344" `Quick
+      check_penalty_increases_delay_only_without_slack;
+    QCheck_alcotest.to_alcotest prop_naive_equals_slack;
+    Alcotest.test_case "zero penalty" `Quick check_zero_penalty_changes_nothing;
+    Alcotest.test_case "penalty rejects gates" `Quick check_penalty_rejects_gate_node;
+    Alcotest.test_case "unmapped rejected" `Quick check_unmapped_rejected;
+    Alcotest.test_case "gate delay components" `Quick check_gate_delay_components;
+  ]

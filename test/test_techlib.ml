@@ -1,0 +1,168 @@
+(* Transistor model, cells and leakage tables: Figure 2 calibration and
+   the physical properties the algorithms rely on. *)
+
+let approx = Alcotest.float 1e-9
+
+let check_nand2_matches_figure2 () =
+  let cell = Techlib.Cell.Nand 2 in
+  let expect = Techlib.Leakage_table.paper_nand2_na in
+  for s = 0 to 3 do
+    Alcotest.check approx "figure 2" expect.(s)
+      (Techlib.Leakage_table.leakage_na cell ~state:s)
+  done
+
+let check_figure2_values () =
+  let st = Techlib.Leakage_table.state_of_string in
+  let l s = Techlib.Leakage_table.leakage_na (Techlib.Cell.Nand 2) ~state:(st s) in
+  Alcotest.check approx "00" 78.0 (l "00");
+  Alcotest.check approx "01" 73.0 (l "01");
+  Alcotest.check approx "10" 264.0 (l "10");
+  Alcotest.check approx "11" 408.0 (l "11")
+
+let check_raw_model_close_to_paper () =
+  (* the analytic model should land in the right regime even before
+     calibration: within a factor of two of every Figure 2 entry *)
+  for s = 0 to 3 do
+    let raw = Techlib.Leakage_table.raw_leakage_na (Techlib.Cell.Nand 2) ~state:s in
+    let target = Techlib.Leakage_table.paper_nand2_na.(s) in
+    Alcotest.(check bool)
+      (Printf.sprintf "state %d raw=%.1f target=%.1f" s raw target)
+      true
+      (raw > target /. 2.0 && raw < target *. 2.0)
+  done
+
+let all_cells = Techlib.Cell.all
+
+let check_tables_positive () =
+  List.iter
+    (fun cell ->
+      for s = 0 to Techlib.Leakage_table.n_states cell - 1 do
+        Alcotest.(check bool) "positive" true
+          (Techlib.Leakage_table.leakage_na cell ~state:s > 0.0)
+      done)
+    all_cells
+
+let check_stack_effect () =
+  (* the all-off stack (all NAND inputs 0) leaks far less than the
+     fully conducting state (all inputs 1, maximum gate tunnelling plus
+     every pull-up device off across the rail) -- the paper's own
+     Figure 2 shows exactly this 78 vs 408 spread *)
+  List.iter
+    (fun k ->
+      let cell = Techlib.Cell.Nand k in
+      let all_off = Techlib.Leakage_table.leakage_na cell ~state:0 in
+      let all_on =
+        Techlib.Leakage_table.leakage_na cell ~state:((1 lsl k) - 1)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "NAND%d all-off %.1f << all-on %.1f" k all_off all_on)
+        true
+        (all_off *. 2.0 < all_on))
+    [ 2; 3; 4 ]
+
+let check_input_order_asymmetry () =
+  (* the property gate input reordering exploits: some single-one
+     states of a NAND differ in leakage *)
+  let cell = Techlib.Cell.Nand 2 in
+  let st = Techlib.Leakage_table.state_of_string in
+  Alcotest.(check bool) "01 differs from 10" true
+    (Techlib.Leakage_table.leakage_na cell ~state:(st "01")
+    <> Techlib.Leakage_table.leakage_na cell ~state:(st "10"))
+
+let check_extreme_states () =
+  let cell = Techlib.Cell.Nand 2 in
+  Alcotest.(check int) "min is 01"
+    (Techlib.Leakage_table.state_of_string "01")
+    (Techlib.Leakage_table.min_leakage_state cell);
+  Alcotest.(check int) "max is 11"
+    (Techlib.Leakage_table.state_of_string "11")
+    (Techlib.Leakage_table.max_leakage_state cell)
+
+let check_state_packing () =
+  Alcotest.(check int) "of_values" 5
+    (Techlib.Leakage_table.state_of_values [| true; false; true |]);
+  Alcotest.(check string) "roundtrip" "101"
+    (Techlib.Leakage_table.string_of_state (Techlib.Cell.Nand 3) 5)
+
+let check_state_bounds () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Leakage_table: state out of range") (fun () ->
+      ignore (Techlib.Leakage_table.leakage_na Techlib.Cell.Inv ~state:(-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Leakage_table: state out of range") (fun () ->
+      ignore (Techlib.Leakage_table.leakage_na Techlib.Cell.Inv ~state:2))
+
+let check_cell_of_gate () =
+  let open Netlist in
+  Alcotest.(check bool) "not -> inv" true
+    (Techlib.Cell.of_gate Gate.Not ~fanin:1 = Some Techlib.Cell.Inv);
+  Alcotest.(check bool) "nand3" true
+    (Techlib.Cell.of_gate Gate.Nand ~fanin:3 = Some (Techlib.Cell.Nand 3));
+  Alcotest.(check bool) "nand5 unsupported" true
+    (Techlib.Cell.of_gate Gate.Nand ~fanin:5 = None);
+  Alcotest.(check bool) "and unsupported" true
+    (Techlib.Cell.of_gate Gate.And ~fanin:2 = None)
+
+let check_delay_monotone_in_load () =
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) "more load, more delay" true
+        (Techlib.Cell.delay cell ~load:10.0 > Techlib.Cell.delay cell ~load:1.0))
+    all_cells
+
+let check_subthreshold_behaviour () =
+  let p = Techlib.Transistor.default_nmos in
+  let off = Techlib.Transistor.subthreshold_current p ~vgs:0.0 ~vds:0.9 ~vsb:0.0 in
+  (* DIBL: less drain bias, less current *)
+  let off_low =
+    Techlib.Transistor.subthreshold_current p ~vgs:0.0 ~vds:0.45 ~vsb:0.0
+  in
+  Alcotest.(check bool) "DIBL" true (off > off_low);
+  (* body effect: reverse body bias reduces current *)
+  let off_body =
+    Techlib.Transistor.subthreshold_current p ~vgs:0.0 ~vds:0.9 ~vsb:0.3
+  in
+  Alcotest.(check bool) "body effect" true (off > off_body)
+
+let check_gate_tunneling_behaviour () =
+  let p = Techlib.Transistor.default_nmos in
+  let g v = Techlib.Transistor.gate_tunneling_current p ~vox:v in
+  Alcotest.check approx "no bias no current" 0.0 (g 0.0);
+  Alcotest.(check bool) "monotone" true (g 0.9 > g 0.45 && g 0.45 > g 0.1)
+
+let check_stack_solver () =
+  let mk on = { Techlib.Transistor.dev = Techlib.Transistor.default_nmos; gate_on = on } in
+  let one_off = Techlib.Transistor.stack_current [ mk false ] ~v_rail:0.9 in
+  let two_off = Techlib.Transistor.stack_current [ mk false; mk false ] ~v_rail:0.9 in
+  Alcotest.(check bool) "stack effect in solver" true (two_off < one_off /. 2.0);
+  let with_on = Techlib.Transistor.stack_current [ mk true; mk false ] ~v_rail:0.9 in
+  Alcotest.(check bool) "on device barely restricts" true (with_on > two_off);
+  Alcotest.check_raises "empty stack"
+    (Invalid_argument "Transistor.stack_current: empty stack") (fun () ->
+      ignore (Techlib.Transistor.stack_current [] ~v_rail:0.9))
+
+let check_stack_node_voltages () =
+  let mk on = { Techlib.Transistor.dev = Techlib.Transistor.default_nmos; gate_on = on } in
+  let vs = Techlib.Transistor.stack_node_voltages [ mk true; mk false ] ~v_rail:0.9 in
+  Alcotest.(check int) "one internal node" 1 (Array.length vs);
+  Alcotest.(check bool) "within rails" true (vs.(0) >= 0.0 && vs.(0) <= 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "NAND2 equals Figure 2" `Quick check_nand2_matches_figure2;
+    Alcotest.test_case "Figure 2 values" `Quick check_figure2_values;
+    Alcotest.test_case "raw model near paper" `Quick check_raw_model_close_to_paper;
+    Alcotest.test_case "tables positive" `Quick check_tables_positive;
+    Alcotest.test_case "stack effect" `Quick check_stack_effect;
+    Alcotest.test_case "input-order asymmetry" `Quick check_input_order_asymmetry;
+    Alcotest.test_case "extreme states" `Quick check_extreme_states;
+    Alcotest.test_case "state packing" `Quick check_state_packing;
+    Alcotest.test_case "state bounds" `Quick check_state_bounds;
+    Alcotest.test_case "cell of gate" `Quick check_cell_of_gate;
+    Alcotest.test_case "delay monotone in load" `Quick check_delay_monotone_in_load;
+    Alcotest.test_case "subthreshold behaviour" `Quick check_subthreshold_behaviour;
+    Alcotest.test_case "gate tunnelling behaviour" `Quick
+      check_gate_tunneling_behaviour;
+    Alcotest.test_case "stack solver" `Quick check_stack_solver;
+    Alcotest.test_case "stack node voltages" `Quick check_stack_node_voltages;
+  ]

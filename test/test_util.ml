@@ -1,0 +1,90 @@
+(* Deterministic RNG: the reproducibility of every experiment rests on
+   these properties. *)
+
+let check_determinism () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Rng.bits a) (Util.Rng.bits b)
+  done
+
+let check_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Util.Rng.bits a) in
+  let ys = List.init 20 (fun _ -> Util.Rng.bits b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let check_int_bounds () =
+  let rng = Util.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.(check int) "bound one" 0 (Util.Rng.int rng 1);
+  Alcotest.check_raises "bound zero"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Util.Rng.int rng 0))
+
+let check_float_range () =
+  let rng = Util.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let check_bool_balance () =
+  let rng = Util.Rng.create 3 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Util.Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced coin: %.3f" ratio)
+    true
+    (ratio > 0.45 && ratio < 0.55)
+
+let check_bits_positive () =
+  let rng = Util.Rng.create 5 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "non-negative" true (Util.Rng.bits rng >= 0)
+  done
+
+let check_split_independence () =
+  let parent = Util.Rng.create 9 in
+  let child = Util.Rng.split parent in
+  (* the child must not replay the parent's stream *)
+  let parent_xs = List.init 10 (fun _ -> Util.Rng.bits parent) in
+  let child_xs = List.init 10 (fun _ -> Util.Rng.bits child) in
+  Alcotest.(check bool) "independent" true (parent_xs <> child_xs)
+
+let check_bool_array () =
+  let rng = Util.Rng.create 13 in
+  let a = Util.Rng.bool_array rng 64 in
+  Alcotest.(check int) "length" 64 (Array.length a);
+  Alcotest.(check bool) "not constant" true
+    (Array.exists (fun b -> b) a && Array.exists (fun b -> not b) a)
+
+let check_int_distribution () =
+  (* all residues of a small modulus appear *)
+  let rng = Util.Rng.create 17 in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 2000 do
+    seen.(Util.Rng.int rng 7) <- seen.(Util.Rng.int rng 7) + 1
+  done;
+  Array.iteri
+    (fun i n -> Alcotest.(check bool) (Printf.sprintf "residue %d seen" i) true (n > 0))
+    seen
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick check_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick check_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick check_int_bounds;
+    Alcotest.test_case "float range" `Quick check_float_range;
+    Alcotest.test_case "bool balance" `Quick check_bool_balance;
+    Alcotest.test_case "bits positive" `Quick check_bits_positive;
+    Alcotest.test_case "split independence" `Quick check_split_independence;
+    Alcotest.test_case "bool array" `Quick check_bool_array;
+    Alcotest.test_case "int distribution" `Quick check_int_distribution;
+  ]
