@@ -17,6 +17,13 @@
 
 let fast = Sys.getenv_opt "SCANPOWER_BENCH_FAST" <> None
 
+(* SCANPOWER_BENCH_JSON=out.json captures per-stage wall-clock timings
+   (every stage runs inside a telemetry span, so the flow's own phase
+   tree nests below it) plus all hot-kernel counters as one JSON
+   metrics snapshot — the same exporter the CLI's --metrics-out uses. *)
+let json_out = Sys.getenv_opt "SCANPOWER_BENCH_JSON"
+let () = if json_out <> None then Telemetry.enable ()
+
 let section name = Format.printf "@.=== %s ===@." name
 
 (* ------------------------------------------------------------------ *)
@@ -495,19 +502,26 @@ let micro () =
   in
   List.iter print_row rows
 
+let stage name f = Telemetry.Span.with_ ~name:("bench." ^ name) f
+
 let () =
   Format.printf "scanpower bench harness%s@."
     (if fast then " (fast mode: small circuits only)" else "");
-  figure2 ();
-  table1 ();
-  ablation_direction ();
-  ablation_addmux ();
-  ablation_reorder ();
-  ablation_ivc ();
-  ablation_reordering_ext ();
-  ablation_glitch ();
-  ablation_exact_probabilities ();
-  ablation_multi_chain ();
-  ablation_atpg_engines ();
-  micro ();
+  stage "figure2" figure2;
+  stage "table1" table1;
+  stage "ablation_direction" ablation_direction;
+  stage "ablation_addmux" ablation_addmux;
+  stage "ablation_reorder" ablation_reorder;
+  stage "ablation_ivc" ablation_ivc;
+  stage "ablation_reordering_ext" ablation_reordering_ext;
+  stage "ablation_glitch" ablation_glitch;
+  stage "ablation_exact_probabilities" ablation_exact_probabilities;
+  stage "ablation_multi_chain" ablation_multi_chain;
+  stage "ablation_atpg_engines" ablation_atpg_engines;
+  stage "micro" micro;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    Telemetry.write_metrics path;
+    Format.printf "@.per-stage telemetry snapshot written to %s@." path);
   Format.printf "@.done.@."

@@ -1,21 +1,35 @@
 (* Command-line front end.
 
    Circuits are named either by a built-in benchmark name (see
-   [scanpower list]) or by a path to an ISCAS89 .bench file. *)
+   [scanpower list]) or by a path to an ISCAS89 .bench file.
+
+   Every pipeline command accepts the telemetry flags --log-level,
+   --trace and --metrics-out; `scanpower profile` runs the whole flow
+   with telemetry forced on and prints the phase tree. *)
 
 open Cmdliner
 
+let ( let* ) = Result.bind
+
 let load_circuit spec =
-  if List.mem spec Circuits.names then Circuits.by_name spec
-  else if Sys.file_exists spec then Netlist.Bench_parser.parse_file spec
+  if List.mem spec Circuits.names then Ok (Circuits.by_name spec)
+  else if Sys.file_exists spec then
+    match Netlist.Bench_parser.parse_file spec with
+    | c -> Ok c
+    | exception e ->
+      Error
+        (`Msg (Printf.sprintf "cannot parse %s: %s" spec (Printexc.to_string e)))
   else
-    failwith
-      (Printf.sprintf
-         "unknown circuit %S (not a built-in benchmark, not a file)" spec)
+    Error
+      (`Msg
+         (Printf.sprintf
+            "unknown circuit %S (not a built-in benchmark, not a file); run \
+             'scanpower list' for the built-in names"
+            spec))
 
 let mapped spec =
-  let c = load_circuit spec in
-  if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c
+  let* c = load_circuit spec in
+  Ok (if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c)
 
 let circuit_arg =
   let doc = "Benchmark name (e.g. s344) or path to a .bench file." in
@@ -24,6 +38,69 @@ let circuit_arg =
 let seed_arg =
   let doc = "Random seed for every stochastic component." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* ---- telemetry flags ---- *)
+
+(* Evaluates to the --metrics-out path after applying the side effects
+   (enable + level + trace file); commands call [finish_telemetry] on it
+   when their work is done. *)
+let telemetry_term =
+  let log_level =
+    let doc =
+      "Enable telemetry and log at $(docv) (debug, info, warn or error) on \
+       stderr."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let trace =
+    let doc =
+      "Enable telemetry and append a JSON-lines trace (span starts/ends, log \
+       records) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Enable telemetry and write a single-shot JSON metrics snapshot \
+       (counters, gauges, span tree) to $(docv) when the command finishes."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let setup lvl trace metrics =
+    let* () =
+      match lvl with
+      | None -> Ok ()
+      | Some s ->
+        let* l = Telemetry.level_of_string s |> Result.map_error (fun e -> `Msg e) in
+        Telemetry.enable ();
+        Telemetry.set_level l;
+        Ok ()
+    in
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Telemetry.enable ();
+      Telemetry.set_trace_file path);
+    if metrics <> None then Telemetry.enable ();
+    Ok metrics
+  in
+  Term.(const setup $ log_level $ trace $ metrics)
+
+let finish_telemetry metrics_out =
+  let written =
+    match metrics_out with
+    | None -> Ok ()
+    | Some path -> (
+      try
+        Telemetry.write_metrics path;
+        Format.eprintf "telemetry metrics written to %s@." path;
+        Ok ()
+      with Sys_error e -> Error (`Msg (Printf.sprintf "cannot write metrics: %s" e)))
+  in
+  Telemetry.close_trace ();
+  written
 
 (* ---- list ---- *)
 
@@ -43,8 +120,9 @@ let list_cmd =
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let run spec =
-    let c = load_circuit spec in
+  let run spec tele =
+    let* metrics_out = tele in
+    let* c = load_circuit spec in
     Format.printf "%s: %a@." (Netlist.Circuit.name c) Netlist.Circuit.pp_stats
       (Netlist.Circuit.stats c);
     let m = if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c in
@@ -56,12 +134,13 @@ let stats_cmd =
     let mux = Scanpower.Mux_insertion.select m in
     Format.printf "AddMUX: %d of %d scan cells accept a multiplexer@."
       (Scanpower.Mux_insertion.muxable_count mux)
-      (Array.length (Netlist.Circuit.dffs m))
+      (Array.length (Netlist.Circuit.dffs m));
+    finish_telemetry metrics_out
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Circuit statistics, critical path and AddMUX feasibility.")
-    Term.(const run $ circuit_arg)
+    Term.(term_result (const run $ circuit_arg $ telemetry_term))
 
 (* ---- figure2 ---- *)
 
@@ -85,7 +164,7 @@ let figure2_cmd =
 
 let observability_cmd =
   let run spec count =
-    let c = mapped spec in
+    let* c = mapped spec in
     let obs = Power.Observability.compute c in
     let scored =
       Array.to_list (Netlist.Circuit.nodes c)
@@ -102,7 +181,8 @@ let observability_cmd =
       | x :: rest -> x :: take (n - 1) rest
     in
     Format.printf "top-%d leakage-observable lines of %s:@." count spec;
-    List.iter (fun (nm, v) -> Format.printf "  %-14s %+9.1f nA@." nm v) (take count scored)
+    List.iter (fun (nm, v) -> Format.printf "  %-14s %+9.1f nA@." nm v) (take count scored);
+    Ok ()
   in
   let count =
     Arg.(value & opt int 10 & info [ "n"; "count" ] ~doc:"Lines to print.")
@@ -110,17 +190,18 @@ let observability_cmd =
   Cmd.v
     (Cmd.info "observability"
        ~doc:"Rank circuit lines by leakage observability (Eq. (6)).")
-    Term.(const run $ circuit_arg $ count)
+    Term.(term_result (const run $ circuit_arg $ count))
 
 (* ---- atpg ---- *)
 
 let atpg_cmd =
-  let run spec seed out =
-    let c = mapped spec in
+  let run spec seed out tele =
+    let* metrics_out = tele in
+    let* c = mapped spec in
     let config = { Atpg.Pattern_gen.default_config with seed } in
     let outcome = Atpg.Pattern_gen.generate ~config c in
     Format.printf "%a@." Atpg.Pattern_gen.pp_outcome outcome;
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
       let oc = open_out path in
@@ -130,7 +211,8 @@ let atpg_cmd =
           output_char oc '\n')
         outcome.Atpg.Pattern_gen.vectors;
       close_out oc;
-      Format.printf "vectors written to %s (PIs then scan cells per line)@." path
+      Format.printf "vectors written to %s (PIs then scan cells per line)@." path);
+    finish_telemetry metrics_out
   in
   let out =
     Arg.(
@@ -140,13 +222,14 @@ let atpg_cmd =
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a compacted stuck-at test set (PODEM).")
-    Term.(const run $ circuit_arg $ seed_arg $ out)
+    Term.(term_result (const run $ circuit_arg $ seed_arg $ out $ telemetry_term))
 
 (* ---- power ---- *)
 
 let power_cmd =
-  let run spec seed =
-    let c = load_circuit spec in
+  let run spec seed tele =
+    let* metrics_out = tele in
+    let* c = load_circuit spec in
     let cmp = Scanpower.Flow.run_benchmark ~seed c in
     Format.printf
       "%s: %d vectors, %d/%d cells muxed, %d gates blocked, %d reordered@."
@@ -158,35 +241,74 @@ let power_cmd =
     let enh = cmp.Scanpower.Flow.enhanced_scan in
     Format.printf
       "enhanced-scan reference: dyn/f %.3e uW/Hz, static %.2f uW (full        isolation, but a hold latch per cell and a functional speed penalty)@."
-      enh.Scanpower.Flow.dynamic_per_hz_uw enh.Scanpower.Flow.static_uw
+      enh.Scanpower.Flow.dynamic_per_hz_uw enh.Scanpower.Flow.static_uw;
+    finish_telemetry metrics_out
   in
   Cmd.v
     (Cmd.info "power"
        ~doc:
          "Full flow on one circuit: scan power of traditional, \
           input-control and the proposed structure.")
-    Term.(const run $ circuit_arg $ seed_arg)
+    Term.(term_result (const run $ circuit_arg $ seed_arg $ telemetry_term))
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run spec seed tele =
+    let* metrics_out = tele in
+    let* c = load_circuit spec in
+    (* telemetry is the whole point of this command *)
+    Telemetry.enable ();
+    Telemetry.reset ();
+    let t0 = Unix.gettimeofday () in
+    let cmp = Scanpower.Flow.run_benchmark ~seed c in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Format.printf "%s: %d vectors, %d dffs, flow completed in %.2f s@.@."
+      cmp.Scanpower.Flow.name cmp.Scanpower.Flow.n_vectors
+      cmp.Scanpower.Flow.n_dffs elapsed;
+    (match Telemetry.Span.find "flow.run_benchmark" with
+    | Some root -> Telemetry.Span.pp_tree Format.std_formatter root
+    | None -> Format.printf "(no span tree recorded)@.");
+    Format.printf "@.counters:@.";
+    List.iter
+      (fun (k, v) -> Format.printf "  %-42s %10d@." k v)
+      (Telemetry.Counter.all ());
+    (match Telemetry.Gauge.all () with
+    | [] -> ()
+    | gauges ->
+      Format.printf "@.gauges:@.";
+      List.iter (fun (k, v) -> Format.printf "  %-42s %10.1f@." k v) gauges);
+    finish_telemetry metrics_out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full flow with telemetry on and print the span tree (wall \
+          time and per-phase percentage) plus every counter; use \
+          --metrics-out to capture the same data as JSON.")
+    Term.(term_result (const run $ circuit_arg $ seed_arg $ telemetry_term))
 
 (* ---- paths ---- *)
 
 let paths_cmd =
   let run spec count =
-    let c = mapped spec in
+    let* c = mapped spec in
     let t = Sta.analyze c in
-    Sta.Path_report.pp_report ~count c Format.std_formatter t
+    Sta.Path_report.pp_report ~count c Format.std_formatter t;
+    Ok ()
   in
   let count =
     Arg.(value & opt int 5 & info [ "n"; "count" ] ~doc:"Paths to report.")
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Timing report: top critical paths and slack histogram.")
-    Term.(const run $ circuit_arg $ count)
+    Term.(term_result (const run $ circuit_arg $ count))
 
 (* ---- export ---- *)
 
 let export_cmd =
   let run spec fmt out =
-    let c = load_circuit spec in
+    let* c = load_circuit spec in
     let text =
       match fmt with
       | "dot" ->
@@ -197,13 +319,14 @@ let export_cmd =
       | "bench" -> Netlist.Bench_writer.to_string c
       | other -> failwith (Printf.sprintf "unknown format %S" other)
     in
-    match out with
+    (match out with
     | None -> print_string text
     | Some path ->
       let oc = open_out path in
       output_string oc text;
       close_out oc;
-      Format.printf "written to %s@." path
+      Format.printf "written to %s@." path);
+    Ok ()
   in
   let fmt =
     Arg.(
@@ -218,13 +341,14 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the netlist (Graphviz / Verilog / .bench).")
-    Term.(const run $ circuit_arg $ fmt $ out)
+    Term.(term_result (const run $ circuit_arg $ fmt $ out))
 
 (* ---- peak ---- *)
 
 let peak_cmd =
-  let run spec seed window =
-    let c = mapped spec in
+  let run spec seed window tele =
+    let* metrics_out = tele in
+    let* c = mapped spec in
     let chain = Scan.Scan_chain.natural c in
     let vectors = Atpg.Pattern_gen.random_vectors ~seed ~count:50 c in
     List.iter
@@ -238,7 +362,8 @@ let peak_cmd =
       [
         ("traditional", Scan.Scan_sim.traditional);
         ("enhanced", Scan.Scan_sim.enhanced_scan);
-      ]
+      ];
+    finish_telemetry metrics_out
   in
   let window =
     Arg.(value & opt int 16 & info [ "window" ] ~doc:"Thermal window, cycles.")
@@ -246,25 +371,30 @@ let peak_cmd =
   Cmd.v
     (Cmd.info "peak"
        ~doc:"Per-cycle activity profile and peak power during scan.")
-    Term.(const run $ circuit_arg $ seed_arg $ window)
+    Term.(term_result (const run $ circuit_arg $ seed_arg $ window $ telemetry_term))
 
 (* ---- table1 ---- *)
 
 let table1_cmd =
-  let run names seed =
+  let run names seed tele =
+    let* metrics_out = tele in
     let names = if names = [] then [ "s344"; "s382"; "s444"; "s510" ] else names in
-    let rows =
-      List.map
-        (fun name ->
-          let cmp = Scanpower.Flow.run_benchmark ~seed (load_circuit name) in
-          Scanpower.Report.of_comparison cmp)
-        names
+    let* rows =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* c = load_circuit name in
+          let cmp = Scanpower.Flow.run_benchmark ~seed c in
+          Ok (Scanpower.Report.of_comparison cmp :: acc))
+        (Ok []) names
     in
+    let rows = List.rev rows in
     Format.printf "measured:@.";
     Scanpower.Report.pp_table Format.std_formatter rows;
     Format.printf "@.paper (Table I):@.";
     Scanpower.Report.pp_table Format.std_formatter
-      (List.filter_map Scanpower.Report.paper_row names)
+      (List.filter_map Scanpower.Report.paper_row names);
+    finish_telemetry metrics_out
   in
   let names =
     Arg.(
@@ -274,7 +404,7 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce rows of the paper's Table I.")
-    Term.(const run $ names $ seed_arg)
+    Term.(term_result (const run $ names $ seed_arg $ telemetry_term))
 
 let main_cmd =
   let doc =
@@ -284,6 +414,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
     [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
-      paths_cmd; export_cmd; peak_cmd; table1_cmd ]
+      profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -89,6 +89,10 @@ let sees_d e id =
          ~faulty:(Logic.of_bool e.fault.Fault.stuck))
   | Fault.Input_pin _ | Fault.Output_line _ -> false
 
+let m_faults = Telemetry.Counter.make "atpg.d_algorithm.faults"
+let m_frontier = Telemetry.Counter.make "atpg.d_algorithm.frontier_gates"
+let g_frontier_max = Telemetry.Gauge.make "atpg.d_algorithm.max_frontier"
+
 let d_frontier e =
   let c = e.circuit in
   let frontier = ref [] in
@@ -101,7 +105,13 @@ let d_frontier e =
         && sees_d e nd.Circuit.id
       then frontier := nd.Circuit.id :: !frontier)
     (Circuit.nodes c);
-  List.rev !frontier
+  let result = List.rev !frontier in
+  if Telemetry.enabled () then begin
+    let size = List.length result in
+    Telemetry.Counter.add m_frontier size;
+    Telemetry.Gauge.observe_max g_frontier_max (float_of_int size)
+  end;
+  result
 
 (* Trail-based undo: [assign] records what it touched. *)
 let assign e trail id v =
@@ -168,6 +178,7 @@ let justification_choices e g v_good =
   | Gate.Input | Gate.Dff | Gate.Output -> []
 
 let run ?(backtrack_limit = 2000) c fault =
+  Telemetry.Counter.inc m_faults;
   let observables =
     Array.to_list (Circuit.outputs c)
     @ (Array.to_list (Circuit.dffs c)

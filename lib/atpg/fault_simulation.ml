@@ -2,6 +2,9 @@ open Netlist
 
 let word_bits = 64
 
+let m_batches = Telemetry.Counter.make "atpg.fault_sim.batches"
+let m_words = Telemetry.Counter.make "atpg.fault_sim.detection_words"
+
 (* Bitwise gate evaluation over packed patterns. *)
 let eval_word kind (vs : int64 array) =
   let fold op seed =
@@ -54,6 +57,7 @@ let make c =
 (* Pack up to 64 vectors (positional over sources) into the good
    machine and simulate; returns the valid-pattern mask. *)
 let load_good m vectors =
+  Telemetry.Counter.inc m_batches;
   let c = m.circuit in
   let srcs = Circuit.sources c in
   let count = List.length vectors in
@@ -103,6 +107,7 @@ let cone m site =
 (* Detection word of one fault against the loaded good machine: bit i
    set iff valid pattern i detects the fault. *)
 let fault_detection_word m mask (f : Fault.t) =
+  Telemetry.Counter.inc m_words;
   let c = m.circuit in
   let site = Fault.site_node f in
   let cone_nodes = cone m site in

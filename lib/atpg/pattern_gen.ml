@@ -23,6 +23,8 @@ let default_config =
     reverse_compact = true;
   }
 
+let m_vectors = Telemetry.Counter.make "atpg.pattern_gen.vectors"
+
 type outcome = {
   vectors : bool array list;
   total_faults : int;
@@ -49,27 +51,28 @@ let generate ?(config = default_config) c =
      if it detects something new. *)
   let stale = ref 0 in
   let batch_no = ref 0 in
-  while
-    !remaining <> []
-    && !batch_no < config.random_batches
-    && !stale < config.stale_batches
-  do
-    incr batch_no;
-    let batch = List.init 64 (fun _ -> Util.Rng.bool_array rng n_sources) in
-    let detected, undet =
-      Fault_simulation.split c ~faults:!remaining ~vectors:batch
-    in
-    if detected = [] then incr stale
-    else begin
-      stale := 0;
-      remaining := undet;
-      (* keep only the vectors of the batch that matter *)
-      let useful =
-        Fault_simulation.effective_subset c ~faults:detected ~vectors:batch
-      in
-      kept := !kept @ useful
-    end
-  done;
+  Telemetry.Span.with_ ~name:"atpg.random_phase" (fun () ->
+      while
+        !remaining <> []
+        && !batch_no < config.random_batches
+        && !stale < config.stale_batches
+      do
+        incr batch_no;
+        let batch = List.init 64 (fun _ -> Util.Rng.bool_array rng n_sources) in
+        let detected, undet =
+          Fault_simulation.split c ~faults:!remaining ~vectors:batch
+        in
+        if detected = [] then incr stale
+        else begin
+          stale := 0;
+          remaining := undet;
+          (* keep only the vectors of the batch that matter *)
+          let useful =
+            Fault_simulation.effective_subset c ~faults:detected ~vectors:batch
+          in
+          kept := !kept @ useful
+        end
+      done);
   (* Phase 2: PODEM per remaining fault, processed in chunks so that
      each chunk's vectors drop later faults before their turn. *)
   let untestable = ref 0 and aborted = ref 0 in
@@ -118,18 +121,29 @@ let generate ?(config = default_config) c =
       kept := !kept @ vectors;
       deterministic ()
   in
-  deterministic ();
+  Telemetry.Span.with_ ~name:"atpg.podem_phase" deterministic;
   (* Phase 3: reverse-order static compaction over the whole set. *)
   let vectors =
-    if config.reverse_compact then
-      Fault_simulation.effective_subset c ~faults ~vectors:!kept
-    else !kept
+    Telemetry.Span.with_ ~name:"atpg.compact_phase" (fun () ->
+        if config.reverse_compact then
+          Fault_simulation.effective_subset c ~faults ~vectors:!kept
+        else !kept)
   in
   let skipped = List.length !remaining in
   let detected_total =
     total_faults - skipped - !untestable - !aborted
   in
   let testable = total_faults - !untestable in
+  Telemetry.Counter.add m_vectors (List.length vectors);
+  Telemetry.Log.debug "atpg.generate done"
+    ~fields:
+      [
+        ("circuit", Telemetry.Json.String (Circuit.name c));
+        ("vectors", Telemetry.Json.Int (List.length vectors));
+        ("faults", Telemetry.Json.Int total_faults);
+        ("untestable", Telemetry.Json.Int !untestable);
+        ("aborted", Telemetry.Json.Int !aborted);
+      ];
   {
     vectors;
     total_faults;

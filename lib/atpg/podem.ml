@@ -1,6 +1,13 @@
 open Netlist
 module F = Logic.Five
 
+(* hot-path instrumentation: plain int bumps behind the global
+   telemetry switch, so the search itself is never perturbed *)
+let m_faults = Telemetry.Counter.make "atpg.podem.faults"
+let m_decisions = Telemetry.Counter.make "atpg.podem.decisions"
+let m_backtracks = Telemetry.Counter.make "atpg.podem.backtracks"
+let m_aborted = Telemetry.Counter.make "atpg.podem.aborted"
+
 type result =
   | Test of Logic.t array
   | Untestable
@@ -242,6 +249,7 @@ let backtrace e (node, value) =
 
 let run ?guide ?(backtrack_limit = 100) ?(iteration_limit = 400) c fault =
   let e = make_engine ?guide c fault in
+  Telemetry.Counter.inc m_faults;
   imply_full e;
   let iterations = ref 0 in
   (* decision stack: (source node, source position, value, flipped) *)
@@ -260,6 +268,7 @@ let run ?guide ?(backtrack_limit = 100) ?(iteration_limit = 400) c fault =
       end
       else begin
         incr backtracks;
+        Telemetry.Counter.inc m_backtracks;
         if !backtracks > backtrack_limit then begin
           aborted := true;
           false
@@ -315,6 +324,7 @@ let run ?guide ?(backtrack_limit = 100) ?(iteration_limit = 400) c fault =
         (match backtrace e obj with
         | None -> if backtrack () then search () else None
         | Some (source, v) ->
+          Telemetry.Counter.inc m_decisions;
           let pos = Hashtbl.find e.source_pos source in
           e.assigned.(pos) <- v;
           stack := (source, pos, v, false) :: !stack;
@@ -324,7 +334,12 @@ let run ?guide ?(backtrack_limit = 100) ?(iteration_limit = 400) c fault =
   in
   match search () with
   | Some cube -> Test cube
-  | None -> if !aborted then Aborted else Untestable
+  | None ->
+    if !aborted then begin
+      Telemetry.Counter.inc m_aborted;
+      Aborted
+    end
+    else Untestable
 
 let generate ?guide ?backtrack_limit ?iteration_limit c fault =
   run ?guide ?backtrack_limit ?iteration_limit c fault

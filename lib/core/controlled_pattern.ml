@@ -1,5 +1,9 @@
 open Netlist
 
+let m_blocked = Telemetry.Counter.make "core.controlled_pattern.blocked_gates"
+let m_failed = Telemetry.Counter.make "core.controlled_pattern.failed_gates"
+let m_tns_rounds = Telemetry.Counter.make "core.controlled_pattern.tns_rounds"
+
 type config = {
   direction : Justify.direction;
   backtrack_limit : int;
@@ -32,6 +36,7 @@ let find ?(backtrack_limit = 50) ~direction c ~muxable =
   let values = ref values in
   let continue_ = ref true in
   while !continue_ do
+    Telemetry.Counter.inc m_tns_rounds;
     let state = Tns.compute c ~values:!values ~seeds ~failed in
     match Tns.pick_largest_load c state.Tns.tgs with
     | None -> continue_ := false
@@ -65,6 +70,8 @@ let find ?(backtrack_limit = 50) ~direction c ~muxable =
       end
   done;
   let final = Tns.compute c ~values:!values ~seeds ~failed in
+  Telemetry.Counter.add m_blocked !blocked_gates;
+  Telemetry.Counter.add m_failed !failed_gates;
   {
     values = !values;
     controlled;

@@ -8,14 +8,21 @@ type prepared = {
 }
 
 let prepare ?atpg_config c =
-  let c = if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c in
-  let atpg = Atpg.Pattern_gen.generate ?config:atpg_config c in
-  {
-    circuit = c;
-    chain = Scan.Scan_chain.natural c;
-    vectors = atpg.Atpg.Pattern_gen.vectors;
-    atpg;
-  }
+  Telemetry.Span.with_ ~name:"flow.prepare" (fun () ->
+      let c =
+        Telemetry.Span.with_ ~name:"techmap" (fun () ->
+            if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c)
+      in
+      let atpg =
+        Telemetry.Span.with_ ~name:"atpg" (fun () ->
+            Atpg.Pattern_gen.generate ?config:atpg_config c)
+      in
+      {
+        circuit = c;
+        chain = Scan.Scan_chain.natural c;
+        vectors = atpg.Atpg.Pattern_gen.vectors;
+        atpg;
+      })
 
 type technique_result = {
   dynamic_per_hz_uw : float;
@@ -48,18 +55,24 @@ let result_of (m : Scan.Scan_sim.result) =
   }
 
 let evaluate ?(seed = 42) p =
+  Telemetry.Span.with_ ~name:"flow.evaluate" (fun () ->
+  let span name fn = Telemetry.Span.with_ ~name fn in
   let c = p.circuit in
   let chain = p.chain in
   let vectors = p.vectors in
   (* 1. traditional scan *)
   let trad =
-    Scan.Scan_sim.measure c chain Scan.Scan_sim.traditional ~vectors
+    span "scan_sim.traditional" (fun () ->
+        Scan.Scan_sim.measure c chain Scan.Scan_sim.traditional ~vectors)
   in
   (* enhanced scan ([5]/hold latches): full isolation, but at a latch
      per cell and a speed penalty the paper's structure avoids *)
-  let enh = Scan.Scan_sim.measure c chain Scan.Scan_sim.enhanced_scan ~vectors in
+  let enh =
+    span "scan_sim.enhanced" (fun () ->
+        Scan.Scan_sim.measure c chain Scan.Scan_sim.enhanced_scan ~vectors)
+  in
   (* 2. input control baseline [8] *)
-  let ic = C_algorithm.find ~seed:(seed + 1) c in
+  let ic = span "c_algorithm" (fun () -> C_algorithm.find ~seed:(seed + 1) c) in
   let ic_policy =
     {
       Scan.Scan_sim.pi_during_shift = Some ic.C_algorithm.pi_pattern;
@@ -67,17 +80,22 @@ let evaluate ?(seed = 42) p =
       hold_previous_capture = false;
     }
   in
-  let ic_m = Scan.Scan_sim.measure c chain ic_policy ~vectors in
+  let ic_m =
+    span "scan_sim.input_control" (fun () ->
+        Scan.Scan_sim.measure c chain ic_policy ~vectors)
+  in
   (* 3. proposed structure *)
-  let mux = Mux_insertion.select c in
-  let obs = Power.Observability.compute c in
+  let mux = span "mux_select" (fun () -> Mux_insertion.select c) in
+  let obs = span "observability" (fun () -> Power.Observability.compute c) in
   let cp =
-    Controlled_pattern.find ~direction:(Justify.Leakage_directed obs) c
-      ~muxable:mux.Mux_insertion.muxable
+    span "controlled_pattern" (fun () ->
+        Controlled_pattern.find ~direction:(Justify.Leakage_directed obs) c
+          ~muxable:mux.Mux_insertion.muxable)
   in
   let filled =
-    Ivc.fill ~seed:(seed + 2) c ~values:cp.Controlled_pattern.values
-      ~controlled:cp.Controlled_pattern.controlled
+    span "ivc" (fun () ->
+        Ivc.fill ~seed:(seed + 2) c ~values:cp.Controlled_pattern.values
+          ~controlled:cp.Controlled_pattern.controlled)
   in
   let values = filled.Ivc.values in
   let concrete id =
@@ -92,14 +110,26 @@ let evaluate ?(seed = 42) p =
   in
   (* reorder gate inputs on a copy so the baselines above stay intact *)
   let c' = Circuit.copy c in
-  let reorder = Input_reorder.optimize c' ~values in
+  let reorder = span "reorder" (fun () -> Input_reorder.optimize c' ~values) in
   let prop_policy =
     { Scan.Scan_sim.pi_during_shift = Some pi_pattern;
       forced_pseudo;
       hold_previous_capture = false;
     }
   in
-  let prop_m = Scan.Scan_sim.measure c' chain prop_policy ~vectors in
+  let prop_m =
+    span "scan_sim.proposed" (fun () ->
+        Scan.Scan_sim.measure c' chain prop_policy ~vectors)
+  in
+  Telemetry.Log.debug "flow.evaluate done"
+    ~fields:
+      [
+        ("circuit", Telemetry.Json.String (Circuit.name c));
+        ("vectors", Telemetry.Json.Int (List.length vectors));
+        ("muxable", Telemetry.Json.Int (List.length mux.Mux_insertion.muxable));
+        ("blocked_gates", Telemetry.Json.Int cp.Controlled_pattern.blocked_gates);
+        ("reordered_gates", Telemetry.Json.Int reorder.Input_reorder.gates_reordered);
+      ];
   {
     name = Circuit.name c;
     n_vectors = List.length vectors;
@@ -112,8 +142,17 @@ let evaluate ?(seed = 42) p =
     input_control = result_of ic_m;
     proposed = result_of prop_m;
     enhanced_scan = result_of enh;
-  }
+  })
 
-let run_benchmark ?atpg_config ?seed c = evaluate ?seed (prepare ?atpg_config c)
+let run_benchmark ?atpg_config ?seed c =
+  Telemetry.Span.with_ ~name:"flow.run_benchmark"
+    ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
+    (fun () -> evaluate ?seed (prepare ?atpg_config c))
 
-let improvement base x = if base = 0.0 then 0.0 else 100.0 *. (base -. x) /. base
+(* [base = 0] admits no percentage: returning 0.0 there made a
+   regression from a zero baseline read as "no change", so it now
+   yields [nan] (rendered as "nan" by the report printers) unless [x]
+   is also zero, which genuinely is no change. *)
+let improvement base x =
+  if base = 0.0 then (if x = 0.0 then 0.0 else Float.nan)
+  else 100.0 *. (base -. x) /. base

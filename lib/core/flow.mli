@@ -51,4 +51,7 @@ val run_benchmark :
 
 val improvement : float -> float -> float
 (** [improvement base x] = percentage reduction of [x] versus [base]
-    (positive = better), as reported in Table I. *)
+    (positive = better), as reported in Table I. When [base] is zero no
+    percentage exists: the result is [nan] (unless [x] is also zero, in
+    which case it is [0.0]) so a regression from a zero baseline can
+    never masquerade as "no change". *)

@@ -1,5 +1,8 @@
 open Netlist
 
+let m_trials = Telemetry.Counter.make "core.ivc.trials"
+let m_samples = Telemetry.Counter.make "core.ivc.leakage_samples"
+
 type outcome = {
   values : Logic.t array;
   candidates_tried : int;
@@ -34,6 +37,7 @@ let expected_leakage c values samples =
     Power.Leakage.total_leakage_uw c bools
   in
   let total = ref 0.0 in
+  Telemetry.Counter.add m_samples (List.length samples);
   List.iter (fun seed -> total := !total +. score (Util.Rng.create seed)) samples;
   !total /. float_of_int (List.length samples)
 
@@ -46,6 +50,7 @@ let fill ?(candidates = 32) ?(inner_samples = 16) ~seed c ~values ~controlled =
   let n_cands = if free_controlled = [] then 1 else max 1 candidates in
   let best = ref None in
   for _ = 1 to n_cands do
+    Telemetry.Counter.inc m_trials;
     let trial = Array.copy values in
     List.iter
       (fun id -> trial.(id) <- Logic.of_bool (Util.Rng.bool rng))

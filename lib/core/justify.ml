@@ -1,5 +1,8 @@
 open Netlist
 
+let m_attempts = Telemetry.Counter.make "core.justify.attempts"
+let m_backtracks = Telemetry.Counter.make "core.justify.backtracks"
+
 type direction =
   | Leakage_directed of Power.Observability.t
   | Structural
@@ -76,6 +79,7 @@ let backtrace t work node v =
   walk node v
 
 let justify t ~values node v =
+  Telemetry.Counter.inc m_attempts;
   let c = t.circuit in
   let work = Array.copy values in
   Sim.Ternary_sim.propagate c work;
@@ -95,6 +99,7 @@ let justify t ~values node v =
         end
         else begin
           incr backtracks;
+          Telemetry.Counter.inc m_backtracks;
           if !backtracks > t.backtrack_limit then false
           else begin
             let value' = Logic.lnot value in

@@ -11,6 +11,9 @@ type t = {
   mux_penalty_ps : float;
 }
 
+let m_muxable = Telemetry.Counter.make "core.mux_insertion.muxable_cells"
+let m_blocked = Telemetry.Counter.make "core.mux_insertion.blocked_cells"
+
 let select ?(strategy = Slack_based) c =
   let timing = Sta.analyze c in
   let base = Sta.critical_delay timing in
@@ -25,6 +28,8 @@ let select ?(strategy = Slack_based) c =
   let muxable, blocked =
     Array.to_list (Circuit.dffs c) |> List.partition fits
   in
+  Telemetry.Counter.add m_muxable (List.length muxable);
+  Telemetry.Counter.add m_blocked (List.length blocked);
   { muxable; blocked; critical_delay_ps = base; mux_penalty_ps = penalty }
 
 let muxable_count t = List.length t.muxable

@@ -76,6 +76,10 @@ let pp_header fmt () =
     "circuit" "trad dyn/f" "trad stat" "IC dyn/f" "IC stat" "prop dyn/f"
     "prop stat" "dyn%" "stat%" "dynIC%" "statIC%"
 
+(* Improvement columns print "nan" when the baseline is zero: a
+   percentage against a zero base is undefined, and rendering it as
+   0.00 would disguise a regression as "no change" (see
+   [Flow.improvement]). *)
 let pp_row fmt r =
   Format.fprintf fmt
     "%-8s | %12.3e %10.2f | %12.3e %10.2f | %12.3e %10.2f | %8.2f %8.2f | %8.2f %8.2f@."

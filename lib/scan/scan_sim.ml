@@ -1,5 +1,9 @@
 open Netlist
 
+let m_sessions = Telemetry.Counter.make "scan.sim.sessions"
+let m_cycles = Telemetry.Counter.make "scan.sim.cycles"
+let m_toggles = Telemetry.Counter.make "scan.sim.toggles"
+
 type policy = {
   pi_during_shift : bool array option;
   forced_pseudo : (int * bool) list;
@@ -268,6 +272,9 @@ let run ?init_state c chain policy ~vectors ~on_response =
   assert (
     Float.abs (accumulated -. s.total_leak_na)
     < 1e-6 *. Float.max 1.0 s.total_leak_na);
+  Telemetry.Counter.inc m_sessions;
+  Telemetry.Counter.add m_cycles (s.n_shift + s.n_capture);
+  Telemetry.Counter.add m_toggles (Sim.Event_sim.total_toggles s.sim);
   s
 
 let measure ?init_state c chain policy ~vectors =

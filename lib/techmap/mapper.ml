@@ -44,7 +44,10 @@ let rec chunks n = function
     let chunk, rest = take n [] xs in
     chunk :: chunks n rest
 
+let m_mapped = Telemetry.Counter.make "techmap.circuits_mapped"
+
 let map c =
+  Telemetry.Counter.inc m_mapped;
   let b = Circuit.Builder.create ~name:(Circuit.name c) () in
   let nm = { counter = 0; prefix = "m$" } in
   let mk_inv x = Circuit.Builder.add_gate b Gate.Not (fresh nm) [ x ] in

@@ -1,0 +1,274 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else begin
+    (* 17 significant digits: shortest form guaranteed to re-parse to
+       the same IEEE-754 double *)
+    let s = Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    (* keep floats recognisable as floats on re-parse *)
+    if String.for_all (fun c -> c <> '.' && c <> 'e' && c <> 'E') s then
+      Buffer.add_string buf ".0"
+  end
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> escape_string buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        add buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  add buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st ch =
+  match peek st with
+  | Some c when c = ch -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" ch)
+
+let literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+        let hex = String.sub st.src st.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> fail st "invalid \\u escape"
+        in
+        st.pos <- st.pos + 4;
+        (* re-encode as UTF-8 (codes below 0x80 stay plain bytes) *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> fail st "invalid escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  if String.for_all (fun c -> c <> '.' && c <> 'e' && c <> 'E') s then
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> fail st "invalid integer"
+  else
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st "invalid number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let pair () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec items acc =
+        let kv = pair () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (items [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length s then Ok v
+    else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> compare x y = 0
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+         x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

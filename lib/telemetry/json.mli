@@ -1,0 +1,30 @@
+(** Minimal self-contained JSON tree: just enough to emit the metrics
+    snapshot and JSON-lines trace, and to parse them back so exported
+    data can be verified without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Always valid JSON: non-finite floats
+    (which JSON cannot represent) are emitted as [null]; finite floats
+    are printed with 17 significant digits so they re-parse to the same
+    IEEE value. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset [to_string] emits plus the usual JSON
+    liberties (whitespace, nested containers, string escapes including
+    [\uXXXX]). Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Float] payloads compare by total order so
+    that [equal x (parse (print x))] holds even through [nan]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up [key]; [None] on anything else. *)

@@ -1,0 +1,129 @@
+(** Zero-dependency observability for the scan-power flow: a levelled
+    structured logger, hierarchical wall-clock spans, a process-wide
+    counter/gauge registry, and exporters (human-readable text on
+    stderr, JSON-lines trace, single-shot JSON metrics snapshot).
+
+    Everything is {e off by default}: with telemetry disabled every
+    entry point reduces to a single flag test, so instrumented hot
+    kernels (PODEM, fault simulation, the scan simulator) pay
+    essentially nothing and paper-reproduction numbers are
+    bit-identical with telemetry on or off — the instrumentation only
+    observes, it never steers. *)
+
+module Json = Json
+
+(** {1 Global switch and log level} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> (level, string) result
+val level_to_string : level -> string
+
+val reset : unit -> unit
+(** Clear all counters, gauges and recorded spans (the trace file, if
+    any, stays open). Call between independent runs so each run's
+    snapshot stands alone. *)
+
+(** {1 Structured logging} *)
+
+module Log : sig
+  val debug : ?fields:(string * Json.t) list -> string -> unit
+  val info : ?fields:(string * Json.t) list -> string -> unit
+  val warn : ?fields:(string * Json.t) list -> string -> unit
+  val error : ?fields:(string * Json.t) list -> string -> unit
+  (** Emitted to stderr as [\[level\] msg key=value ...] and to the
+      JSON-lines trace (when one is set) when telemetry is enabled and
+      the message level is at or above the threshold. *)
+end
+
+(** {1 Hierarchical spans} *)
+
+module Span : sig
+  type t = {
+    name : string;
+    fields : (string * Json.t) list;
+    start : float;  (** [Unix.gettimeofday] at entry *)
+    mutable stop : float;
+    mutable children_rev : t list;
+  }
+
+  val with_ : ?fields:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
+  (** Run the function inside a named span. Spans nest through a parent
+      stack: a span opened while another is running becomes its child,
+      so [Flow.run_benchmark] yields a phase tree. When telemetry is
+      disabled this is exactly [fn ()]. Exceptions still close the
+      span. *)
+
+  val duration_s : t -> float
+  val children : t -> t list  (** in execution order *)
+
+  val roots : unit -> t list
+  (** Completed top-level spans, in completion order. *)
+
+  val find : string -> t option
+  (** First completed span with this name, searching every root tree
+      depth-first. *)
+
+  val to_json : t -> Json.t
+  val pp_tree : Format.formatter -> t -> unit
+  (** Render the span tree with per-phase durations and percentage of
+      the tree's root. *)
+end
+
+(** {1 Counters and gauges}
+
+    Handles are created once (typically at module initialisation) and
+    registered process-wide by name; [make] on an existing name returns
+    the existing handle. Increments are dropped while telemetry is
+    disabled. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val find : string -> int option
+  val all : unit -> (string * int) list  (** sorted by name *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+
+  val observe_max : t -> float -> unit
+  (** Keep the running maximum. *)
+
+  val get : t -> float option
+  (** [None] until first set. *)
+
+  val find : string -> float option
+  val all : unit -> (string * float) list  (** sorted by name; set gauges only *)
+end
+
+(** {1 Exporters} *)
+
+val set_trace_file : string -> unit
+(** Open (truncate) a JSON-lines trace: one object per log message,
+    span start and span end. Implies nothing about [enable]. *)
+
+val close_trace : unit -> unit
+
+val metrics_snapshot : unit -> Json.t
+(** Single-shot snapshot: every registered counter, every set gauge and
+    the completed span trees, as one JSON object (schema
+    ["scanpower.telemetry/1"]). Suitable for a [BENCH_*.json]
+    trajectory file. *)
+
+val write_metrics : string -> unit
+(** [metrics_snapshot] pretty-printed compactly to a file. *)

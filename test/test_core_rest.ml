@@ -237,7 +237,10 @@ let check_improvement_formula () =
   Alcotest.check (Alcotest.float 1e-9) "50%" 50.0 (Scanpower.Flow.improvement 2.0 1.0);
   Alcotest.check (Alcotest.float 1e-9) "negative" (-50.0)
     (Scanpower.Flow.improvement 2.0 3.0);
-  Alcotest.check (Alcotest.float 1e-9) "guard" 0.0 (Scanpower.Flow.improvement 0.0 1.0)
+  Alcotest.(check bool) "zero base, nonzero x is undefined" true
+    (Float.is_nan (Scanpower.Flow.improvement 0.0 1.0));
+  Alcotest.check (Alcotest.float 1e-9) "zero base, zero x is no change" 0.0
+    (Scanpower.Flow.improvement 0.0 0.0)
 
 let check_report_row () =
   let cmp = Lazy.force flow_cmp in

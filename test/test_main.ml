@@ -27,4 +27,5 @@ let () =
       ("d-algorithm", Test_d_algorithm.suite);
       ("scoap", Test_scoap.suite);
       ("circuits", Test_circuits.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

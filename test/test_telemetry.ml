@@ -1,0 +1,242 @@
+(* Telemetry subsystem: span nesting and timing, the counter/gauge
+   registry, JSON snapshot round-tripping, and the core guarantee that
+   instrumentation only observes — flow results are bit-identical with
+   telemetry on or off, and identical to the pre-telemetry seed. *)
+
+module T = Telemetry
+module J = Telemetry.Json
+
+let with_telemetry fn =
+  T.reset ();
+  T.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.disable ();
+      T.reset ())
+    fn
+
+(* ---------- spans ---------- *)
+
+let check_disabled_is_noop () =
+  T.reset ();
+  Alcotest.(check bool) "off by default here" false (T.enabled ());
+  let r = T.Span.with_ ~name:"ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "transparent" 42 r;
+  Alcotest.(check int) "no span recorded" 0 (List.length (T.Span.roots ()));
+  let c = T.Counter.make "test.noop" in
+  T.Counter.inc c;
+  T.Counter.add c 10;
+  Alcotest.(check int) "counter increments dropped" 0 (T.Counter.get c)
+
+let check_span_nesting_and_timing () =
+  with_telemetry (fun () ->
+      let spin = ref 0.0 in
+      T.Span.with_ ~name:"outer" (fun () ->
+          T.Span.with_ ~name:"first" (fun () ->
+              for i = 1 to 10_000 do
+                spin := !spin +. float_of_int i
+              done);
+          T.Span.with_ ~name:"second" (fun () -> ignore (Sys.opaque_identity !spin)));
+      match T.Span.roots () with
+      | [ outer ] ->
+        Alcotest.(check string) "root name" "outer" outer.T.Span.name;
+        let kids = T.Span.children outer in
+        Alcotest.(check (list string)) "children in execution order"
+          [ "first"; "second" ]
+          (List.map (fun s -> s.T.Span.name) kids);
+        let d_outer = T.Span.duration_s outer in
+        Alcotest.(check bool) "outer duration non-negative" true (d_outer >= 0.0);
+        List.iter
+          (fun kid ->
+            let d = T.Span.duration_s kid in
+            Alcotest.(check bool) "child duration non-negative" true (d >= 0.0);
+            Alcotest.(check bool) "child starts after parent" true
+              (kid.T.Span.start >= outer.T.Span.start);
+            Alcotest.(check bool) "child within parent" true
+              (d <= d_outer +. 1e-9))
+          kids;
+        Alcotest.(check bool) "children sum within parent" true
+          (List.fold_left (fun acc k -> acc +. T.Span.duration_s k) 0.0 kids
+          <= d_outer +. 1e-9)
+      | roots -> Alcotest.failf "expected one root, got %d" (List.length roots))
+
+let check_span_survives_exception () =
+  with_telemetry (fun () ->
+      (try
+         T.Span.with_ ~name:"root" (fun () ->
+             T.Span.with_ ~name:"boom" (fun () -> failwith "expected"))
+       with Failure _ -> ());
+      match T.Span.find "boom" with
+      | None -> Alcotest.fail "span closed by exception should still be recorded"
+      | Some s ->
+        Alcotest.(check bool) "closed" true (T.Span.duration_s s >= 0.0))
+
+(* ---------- counters and gauges ---------- *)
+
+let check_counter_registry_reset () =
+  with_telemetry (fun () ->
+      let c = T.Counter.make "test.counter" in
+      Alcotest.(check bool) "same handle for same name" true
+        (c == T.Counter.make "test.counter");
+      T.Counter.inc c;
+      T.Counter.add c 5;
+      Alcotest.(check int) "accumulated" 6 (T.Counter.get c);
+      Alcotest.(check (option int)) "find by name" (Some 6)
+        (T.Counter.find "test.counter");
+      T.reset ();
+      Alcotest.(check int) "reset between runs" 0 (T.Counter.get c);
+      Alcotest.(check (option int)) "still registered" (Some 0)
+        (T.Counter.find "test.counter"))
+
+let check_gauge () =
+  with_telemetry (fun () ->
+      let g = T.Gauge.make "test.gauge" in
+      Alcotest.(check (option (float 0.0))) "unset" None (T.Gauge.get g);
+      T.Gauge.observe_max g 3.0;
+      T.Gauge.observe_max g 1.0;
+      Alcotest.(check (option (float 1e-12))) "max kept" (Some 3.0) (T.Gauge.get g);
+      T.Gauge.set g 0.5;
+      Alcotest.(check (option (float 1e-12))) "set overrides" (Some 0.5)
+        (T.Gauge.get g))
+
+(* ---------- JSON ---------- *)
+
+let check_json_roundtrip_value () =
+  let v =
+    J.Obj
+      [
+        ("name", J.String "s27 \"quoted\" \\ tab\there\nnewline");
+        ("count", J.Int 42);
+        ("negative", J.Int (-7));
+        ("pi", J.Float 3.141592653589793);
+        ("tenth", J.Float 0.1);
+        ("whole", J.Float 3.0);
+        ("tiny", J.Float 1.25e-300);
+        ("flag", J.Bool true);
+        ("nothing", J.Null);
+        ("seq", J.List [ J.Int 1; J.List []; J.Obj []; J.String "" ]);
+      ]
+  in
+  match J.of_string (J.to_string v) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok v' ->
+    Alcotest.(check bool) "round-trips exactly" true (J.equal v v');
+    Alcotest.(check bool) "member" true
+      (J.member "count" v' = Some (J.Int 42))
+
+let check_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    [ "{"; "[1,"; "nul"; "\"open"; "{\"a\" 1}"; "[1] trailing" ]
+
+let check_snapshot_roundtrip () =
+  with_telemetry (fun () ->
+      let c = T.Counter.make "test.snapshot.counter" in
+      T.Counter.add c 3;
+      T.Gauge.set (T.Gauge.make "test.snapshot.gauge") 2.5;
+      T.Span.with_ ~name:"snap" (fun () ->
+          T.Span.with_ ~name:"inner" (fun () -> ()));
+      let snap = T.metrics_snapshot () in
+      (match J.of_string (J.to_string snap) with
+      | Error e -> Alcotest.failf "snapshot reparse failed: %s" e
+      | Ok snap' ->
+        Alcotest.(check bool) "snapshot round-trips" true (J.equal snap snap'));
+      Alcotest.(check bool) "schema tagged" true
+        (J.member "schema" snap = Some (J.String "scanpower.telemetry/1")))
+
+(* ---------- the flow under telemetry ---------- *)
+
+let expected_phases =
+  [
+    "flow.run_benchmark"; "flow.prepare"; "techmap"; "atpg"; "flow.evaluate";
+    "scan_sim.traditional"; "scan_sim.enhanced"; "c_algorithm";
+    "scan_sim.input_control"; "mux_select"; "observability";
+    "controlled_pattern"; "ivc"; "reorder"; "scan_sim.proposed";
+  ]
+
+let check_flow_phase_tree () =
+  with_telemetry (fun () ->
+      let _ = Scanpower.Flow.run_benchmark (Circuits.s27 ()) in
+      List.iter
+        (fun name ->
+          match T.Span.find name with
+          | Some s ->
+            Alcotest.(check bool)
+              (name ^ " has a duration")
+              true
+              (T.Span.duration_s s >= 0.0)
+          | None -> Alcotest.failf "phase %s missing from span tree" name)
+        expected_phases;
+      Alcotest.(check bool) "ivc trials counted" true
+        (match T.Counter.find "core.ivc.trials" with
+        | Some n -> n > 0
+        | None -> false);
+      Alcotest.(check bool) "podem backtracks registered" true
+        (T.Counter.find "atpg.podem.backtracks" <> None);
+      Alcotest.(check bool) "scan sim cycles counted" true
+        (match T.Counter.find "scan.sim.cycles" with
+        | Some n -> n > 0
+        | None -> false))
+
+let check_flow_bit_identical_on_off () =
+  T.disable ();
+  T.reset ();
+  let off = Scanpower.Flow.run_benchmark (Circuits.s27 ()) in
+  let on = with_telemetry (fun () -> Scanpower.Flow.run_benchmark (Circuits.s27 ())) in
+  Alcotest.(check bool) "comparison identical with telemetry on vs off" true
+    (off = on)
+
+(* Golden values captured from the pre-telemetry seed build (s344,
+   default seed 42, telemetry disabled). Hex float literals are exact:
+   any drift — however small — means the flow's numbers moved. *)
+let check_s344_identical_to_seed () =
+  T.disable ();
+  T.reset ();
+  let cmp = Scanpower.Flow.run_benchmark (Circuits.by_name "s344") in
+  let f = Alcotest.testable (fun fmt x -> Format.fprintf fmt "%h" x)
+      (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+  in
+  Alcotest.(check int) "n_vectors" 35 cmp.Scanpower.Flow.n_vectors;
+  Alcotest.(check int) "n_dffs" 15 cmp.Scanpower.Flow.n_dffs;
+  Alcotest.(check int) "n_muxable" 14 cmp.Scanpower.Flow.n_muxable;
+  Alcotest.(check int) "blocked_gates" 2 cmp.Scanpower.Flow.blocked_gates;
+  Alcotest.(check int) "failed_gates" 0 cmp.Scanpower.Flow.failed_gates;
+  Alcotest.(check int) "reordered_gates" 30 cmp.Scanpower.Flow.reordered_gates;
+  let check_technique tag (t : Scanpower.Flow.technique_result) dyn static peak
+      toggles =
+    Alcotest.check f (tag ^ " dyn/f") dyn t.Scanpower.Flow.dynamic_per_hz_uw;
+    Alcotest.check f (tag ^ " static") static t.Scanpower.Flow.static_uw;
+    Alcotest.check f (tag ^ " peak static") peak t.Scanpower.Flow.peak_static_uw;
+    Alcotest.(check int) (tag ^ " toggles") toggles t.Scanpower.Flow.total_toggles
+  in
+  check_technique "traditional" cmp.Scanpower.Flow.traditional
+    0x1.d9de3c0fa8189p-25 0x1.ee052d0f39c79p+4 0x1.23adaa635ba18p+5 18654;
+  check_technique "input_control" cmp.Scanpower.Flow.input_control
+    0x1.b4b4b8847d70bp-25 0x1.ec114ab14076ep+4 0x1.21e69437d1ae3p+5 18484;
+  check_technique "proposed" cmp.Scanpower.Flow.proposed
+    0x1.b69c4ead2a6d3p-27 0x1.9e84c88ceddc6p+4 0x1.1fdc64d51f761p+5 4054;
+  check_technique "enhanced_scan" cmp.Scanpower.Flow.enhanced_scan
+    0x1.db5e0be0a176ep-28 0x1.fcecb06f1562fp+4 0x1.21e69437d1aa9p+5 2290
+
+let suite =
+  [
+    Alcotest.test_case "disabled is a no-op" `Quick check_disabled_is_noop;
+    Alcotest.test_case "span nesting and timing" `Quick
+      check_span_nesting_and_timing;
+    Alcotest.test_case "span survives exception" `Quick
+      check_span_survives_exception;
+    Alcotest.test_case "counter registry reset" `Quick
+      check_counter_registry_reset;
+    Alcotest.test_case "gauge" `Quick check_gauge;
+    Alcotest.test_case "json round-trip" `Quick check_json_roundtrip_value;
+    Alcotest.test_case "json rejects garbage" `Quick check_json_rejects_garbage;
+    Alcotest.test_case "snapshot round-trip" `Quick check_snapshot_roundtrip;
+    Alcotest.test_case "flow phase tree" `Quick check_flow_phase_tree;
+    Alcotest.test_case "flow bit-identical on vs off" `Quick
+      check_flow_bit_identical_on_off;
+    Alcotest.test_case "s344 identical to seed" `Slow
+      check_s344_identical_to_seed;
+  ]
