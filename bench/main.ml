@@ -17,6 +17,23 @@
 
 let fast = Sys.getenv_opt "SCANPOWER_BENCH_FAST" <> None
 
+(* Table I runs through the sweep runner: SCANPOWER_BENCH_JOBS sets
+   the worker count (default 4, 1 = in-process sequential) and
+   SCANPOWER_BENCH_CACHE the result-cache directory ("off" or "0"
+   disables it; default _scanpower_cache). Results are bit-identical
+   either way — the runner only changes where and whether the flow
+   runs, never what it computes. *)
+let bench_jobs =
+  match Sys.getenv_opt "SCANPOWER_BENCH_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 4
+
+let bench_cache () =
+  match Sys.getenv_opt "SCANPOWER_BENCH_CACHE" with
+  | Some "off" | Some "0" -> None
+  | Some dir -> Some (Runner.Cache.create ~dir ())
+  | None -> Some (Runner.Cache.create ())
+
 (* SCANPOWER_BENCH_JSON=out.json captures per-stage wall-clock timings
    (every stage runs inside a telemetry span, so the flow's own phase
    tree nests below it) plus all hot-kernel counters as one JSON
@@ -60,20 +77,48 @@ let table1_circuits =
 
 let table1 () =
   section "Table I: scan power, traditional vs input control [8] vs proposed";
-  let rows =
-    List.map
-      (fun name ->
-        let t0 = Unix.gettimeofday () in
-        let cmp = Scanpower.Flow.run_benchmark (Circuits.by_name name) in
-        Format.printf "%-7s done in %5.1fs (%d vectors, %d/%d cells muxed)@."
-          name
-          (Unix.gettimeofday () -. t0)
-          cmp.Scanpower.Flow.n_vectors cmp.Scanpower.Flow.n_muxable
-          cmp.Scanpower.Flow.n_dffs;
-        Format.pp_print_flush Format.std_formatter ();
-        Scanpower.Report.of_comparison cmp)
-      table1_circuits
+  let t0 = Unix.gettimeofday () in
+  let points =
+    Scanpower.Sweep.points (List.map Circuits.by_name table1_circuits)
   in
+  let on_event = function
+    | Runner.Finished
+        { job; outcome = Runner.Done { from_cache; duration_s; _ } } ->
+      Format.printf "%-16s %s@." job.Runner.id
+        (if from_cache then "cached"
+         else Printf.sprintf "done in %5.1fs" duration_s);
+      Format.pp_print_flush Format.std_formatter ()
+    | Runner.Finished { job; outcome = Runner.Failed { attempts; last } } ->
+      Format.printf "%-16s FAILED after %d attempt(s): %s@." job.Runner.id
+        attempts
+        (Runner.failure_to_string last)
+    | Runner.Attempt_failed { job; attempt; failure; _ } ->
+      Format.printf "%-16s attempt %d %s; retrying@." job.Runner.id attempt
+        (Runner.failure_to_string failure)
+    | Runner.Started _ -> ()
+  in
+  let report =
+    Scanpower.Sweep.run ~jobs:bench_jobs ?cache:(bench_cache ())
+      ~capture_telemetry:(bench_jobs > 1) ~on_event points
+  in
+  List.iter
+    (fun (r : Scanpower.Sweep.job_result) ->
+      match r.Scanpower.Sweep.comparison with
+      | Ok cmp ->
+        Format.printf "%-7s %d vectors, %d/%d cells muxed@."
+          r.Scanpower.Sweep.circuit cmp.Scanpower.Flow.n_vectors
+          cmp.Scanpower.Flow.n_muxable cmp.Scanpower.Flow.n_dffs
+      | Error e ->
+        Format.printf "%-7s failed: %s@." r.Scanpower.Sweep.circuit e)
+    report.Scanpower.Sweep.results;
+  let s = report.Scanpower.Sweep.stats in
+  Format.printf
+    "pool: %d workers, %d computed, %d cache hits, %d retries, %d crashes \
+     (%.1fs wall)@."
+    bench_jobs s.Runner.computed s.Runner.cache_hits s.Runner.retries
+    s.Runner.crashes
+    (Unix.gettimeofday () -. t0);
+  let rows = Scanpower.Sweep.rows report in
   Format.printf "@.measured:@.";
   Scanpower.Report.pp_table Format.std_formatter rows;
   Format.printf "@.paper:@.";

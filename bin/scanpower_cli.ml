@@ -20,12 +20,9 @@ let load_circuit spec =
       Error
         (`Msg (Printf.sprintf "cannot parse %s: %s" spec (Printexc.to_string e)))
   else
-    Error
-      (`Msg
-         (Printf.sprintf
-            "unknown circuit %S (not a built-in benchmark, not a file); run \
-             'scanpower list' for the built-in names"
-            spec))
+    match Circuits.find spec with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Msg (msg ^ "; or pass a path to a .bench file"))
 
 let mapped spec =
   let* c = load_circuit spec in
@@ -406,6 +403,176 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Reproduce rows of the paper's Table I.")
     Term.(term_result (const run $ names $ seed_arg $ telemetry_term))
 
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run names jobs seeds timeout retries no_cache cache_dir out csv tele =
+    let* metrics_out = tele in
+    let names = if names = [] then Circuits.names else names in
+    let* circuits =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* c = load_circuit name in
+          Ok (c :: acc))
+        (Ok []) names
+    in
+    let circuits = List.rev circuits in
+    let points = Scanpower.Sweep.points ~seeds circuits in
+    let cache =
+      if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
+    in
+    let total = List.length points in
+    Format.printf "sweep: %d point%s over %d circuit%s, %d worker%s, cache %s@."
+      total
+      (if total = 1 then "" else "s")
+      (List.length circuits)
+      (if List.length circuits = 1 then "" else "s")
+      jobs
+      (if jobs = 1 then "" else "s")
+      (match cache with
+      | None -> "off"
+      | Some c -> Runner.Cache.dir c);
+    let finished = ref 0 in
+    let on_event = function
+      | Runner.Started _ -> ()
+      | Runner.Attempt_failed { job; attempt; failure; will_retry } ->
+        Format.printf "        %-20s attempt %d %s%s@." job.Runner.id attempt
+          (Runner.failure_to_string failure)
+          (if will_retry then "; retrying" else "")
+      | Runner.Finished { job; outcome } ->
+        incr finished;
+        (match outcome with
+        | Runner.Done { from_cache; duration_s; attempts; _ } ->
+          Format.printf "[%2d/%d] %-20s %s@." !finished total job.Runner.id
+            (if from_cache then "cached"
+             else
+               Printf.sprintf "done in %.2fs%s" duration_s
+                 (if attempts > 1 then
+                    Printf.sprintf " (attempt %d)" attempts
+                  else ""))
+        | Runner.Failed { attempts; last } ->
+          Format.printf "[%2d/%d] %-20s FAILED after %d attempt%s: %s@."
+            !finished total job.Runner.id attempts
+            (if attempts = 1 then "" else "s")
+            (Runner.failure_to_string last));
+        Format.pp_print_flush Format.std_formatter ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let report =
+      Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries ?cache ~on_event
+        points
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Format.printf "@.";
+    Scanpower.Report.pp_table Format.std_formatter
+      (Scanpower.Sweep.rows report);
+    let s = report.Scanpower.Sweep.stats in
+    Format.printf
+      "@.pool: %d scheduled, %d computed, %d cache hit%s, %d crash%s, %d \
+       timeout%s, %d retr%s, %d failed — %.1fs wall@."
+      s.Runner.scheduled s.Runner.computed s.Runner.cache_hits
+      (if s.Runner.cache_hits = 1 then "" else "s")
+      s.Runner.crashes
+      (if s.Runner.crashes = 1 then "" else "es")
+      s.Runner.timeouts
+      (if s.Runner.timeouts = 1 then "" else "s")
+      s.Runner.retries
+      (if s.Runner.retries = 1 then "y" else "ies")
+      s.Runner.failed wall;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Scanpower.Sweep.write_json path report;
+      Format.printf "JSON report written to %s@." path);
+    (match csv with
+    | None -> ()
+    | Some path ->
+      Scanpower.Sweep.write_csv path report;
+      Format.printf "CSV report written to %s@." path);
+    let* () =
+      if Scanpower.Sweep.all_ok report then Ok ()
+      else
+        Error
+          (`Msg (Printf.sprintf "%d job(s) failed" report.Scanpower.Sweep.stats.Runner.failed))
+    in
+    finish_telemetry metrics_out
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CIRCUIT"
+          ~doc:
+            "Circuits to sweep: built-in benchmark names or .bench files \
+             (default: every built-in benchmark).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker processes. 1 runs everything sequentially in-process; \
+             larger values fan jobs out over forked workers.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 42 ]
+      & info [ "seeds" ] ~docv:"S1,S2,..."
+          ~doc:"Flow seeds: every circuit is evaluated at every seed.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Kill and retry a job running longer than this (0 = no timeout; \
+             only enforced with --jobs > 1).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts after a crash, timeout or job error.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute everything; touch no cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Result cache location (default: \\$SCANPOWER_CACHE_DIR or \
+             _scanpower_cache).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the aggregate JSON report here.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-job CSV report here.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the full flow over many circuits and seeds in parallel, with a \
+          content-addressed result cache: a re-run recomputes only changed \
+          points, a crashed worker is retried without failing the sweep.")
+    Term.(
+      term_result
+        (const run $ names $ jobs $ seeds $ timeout $ retries $ no_cache
+       $ cache_dir $ out $ csv $ telemetry_term))
+
 let main_cmd =
   let doc =
     "Simultaneous reduction of dynamic and static power in scan structures \
@@ -414,6 +581,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
     [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
-      profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd ]
+      profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd; sweep_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

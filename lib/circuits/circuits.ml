@@ -220,3 +220,11 @@ let by_name name =
     | None -> raise Not_found
 
 let names = "s27" :: List.map (fun p -> p.name) table1_profiles
+
+let find name =
+  match by_name name with
+  | c -> Ok c
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "unknown circuit %S; valid benchmark names: %s" name
+         (String.concat ", " names))

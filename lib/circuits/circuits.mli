@@ -45,3 +45,7 @@ val by_name : string -> Circuit.t
 
 val names : string list
 (** All available benchmark names, s27 first. *)
+
+val find : string -> (Circuit.t, string) result
+(** Like {!by_name} but an unknown name yields a human-usable error
+    listing every valid benchmark name instead of raising. *)

@@ -24,6 +24,45 @@ let prepare ?atpg_config c =
         atpg;
       })
 
+(* [prepare] is deterministic in the netlist content and the ATPG
+   configuration, and [evaluate] never mutates a [prepared] (the
+   reorder step works on a copy), so prepared results are safe to
+   share across [evaluate] calls — sweeping parameter points on one
+   circuit should pay for techmap + ATPG once. The memo key is the
+   content digest, not physical identity, so re-parsing the same
+   netlist still hits. *)
+let prepare_memo : (string, prepared) Hashtbl.t = Hashtbl.create 16
+let prepare_hits = Telemetry.Counter.make "flow.prepare_memo.hit"
+let prepare_misses = Telemetry.Counter.make "flow.prepare_memo.miss"
+
+let prepare_key ?atpg_config c =
+  let cfg =
+    match atpg_config with
+    | Some cfg -> cfg
+    | None -> Atpg.Pattern_gen.default_config
+  in
+  let cfg_text =
+    Printf.sprintf "%d/%d/%d/%d/%d/%b/%b/%b" cfg.Atpg.Pattern_gen.seed
+      cfg.Atpg.Pattern_gen.random_batches cfg.Atpg.Pattern_gen.stale_batches
+      cfg.Atpg.Pattern_gen.backtrack_limit cfg.Atpg.Pattern_gen.podem_budget
+      cfg.Atpg.Pattern_gen.scoap_guide cfg.Atpg.Pattern_gen.merge
+      cfg.Atpg.Pattern_gen.reverse_compact
+  in
+  Digest.to_hex
+    (Digest.string (Bench_writer.to_string c ^ "\x00" ^ cfg_text))
+
+let prepare_cached ?atpg_config c =
+  let key = prepare_key ?atpg_config c in
+  match Hashtbl.find_opt prepare_memo key with
+  | Some p ->
+    Telemetry.Counter.inc prepare_hits;
+    p
+  | None ->
+    Telemetry.Counter.inc prepare_misses;
+    let p = prepare ?atpg_config c in
+    Hashtbl.add prepare_memo key p;
+    p
+
 type technique_result = {
   dynamic_per_hz_uw : float;
   static_uw : float;
@@ -148,6 +187,11 @@ let run_benchmark ?atpg_config ?seed c =
   Telemetry.Span.with_ ~name:"flow.run_benchmark"
     ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
     (fun () -> evaluate ?seed (prepare ?atpg_config c))
+
+let run_benchmark_cached ?atpg_config ?seed c =
+  Telemetry.Span.with_ ~name:"flow.run_benchmark"
+    ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
+    (fun () -> evaluate ?seed (prepare_cached ?atpg_config c))
 
 (* [base = 0] admits no percentage: returning 0.0 there made a
    regression from a zero baseline read as "no change", so it now

@@ -18,6 +18,14 @@ type prepared = {
 val prepare : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> prepared
 (** Maps the circuit if needed and generates its test set. *)
 
+val prepare_cached : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> prepared
+(** Like {!prepare} but memoized (process-wide) on the netlist content
+    and the ATPG configuration, so sweeping flow-parameter points on
+    the same circuit runs techmap + ATPG once. Safe because
+    {!evaluate} never mutates a [prepared] — the reorder step works on
+    a copy. Telemetry counters [flow.prepare_memo.hit]/[.miss] track
+    its effectiveness. *)
+
 type technique_result = {
   dynamic_per_hz_uw : float;
   static_uw : float;  (** average leakage over shift cycles *)
@@ -48,6 +56,13 @@ val evaluate : ?seed:int -> prepared -> comparison
 val run_benchmark :
   ?atpg_config:Atpg.Pattern_gen.config -> ?seed:int -> Circuit.t -> comparison
 (** [prepare] followed by [evaluate]. *)
+
+val run_benchmark_cached :
+  ?atpg_config:Atpg.Pattern_gen.config -> ?seed:int -> Circuit.t -> comparison
+(** [prepare_cached] followed by [evaluate]: identical results to
+    {!run_benchmark} (the preparation is deterministic), minus the
+    repeated ATPG when the same circuit is evaluated at several
+    parameter points in one process. *)
 
 val improvement : float -> float -> float
 (** [improvement base x] = percentage reduction of [x] versus [base]

@@ -1,0 +1,236 @@
+open Netlist
+module Json = Telemetry.Json
+
+let schema_version = "scanpower.sweep/1"
+
+type params = { seed : int }
+type point = { circuit : Circuit.t; params : params }
+
+let points ?(seeds = [ 42 ]) circuits =
+  List.concat_map
+    (fun circuit -> List.map (fun seed -> { circuit; params = { seed } }) seeds)
+    circuits
+
+let cache_key point =
+  Runner.Cache.key ~schema:schema_version
+    ~parts:
+      [
+        Bench_writer.to_string point.circuit;
+        Printf.sprintf "seed=%d" point.params.seed;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* comparison <-> JSON                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let technique_to_json (t : Flow.technique_result) =
+  Json.Obj
+    [
+      ("dynamic_per_hz_uw", Json.Float t.Flow.dynamic_per_hz_uw);
+      ("static_uw", Json.Float t.Flow.static_uw);
+      ("peak_static_uw", Json.Float t.Flow.peak_static_uw);
+      ("total_toggles", Json.Int t.Flow.total_toggles);
+    ]
+
+let comparison_to_json (c : Flow.comparison) =
+  Json.Obj
+    [
+      ("name", Json.String c.Flow.name);
+      ("n_vectors", Json.Int c.Flow.n_vectors);
+      ("n_dffs", Json.Int c.Flow.n_dffs);
+      ("n_muxable", Json.Int c.Flow.n_muxable);
+      ("blocked_gates", Json.Int c.Flow.blocked_gates);
+      ("failed_gates", Json.Int c.Flow.failed_gates);
+      ("reordered_gates", Json.Int c.Flow.reordered_gates);
+      ("traditional", technique_to_json c.Flow.traditional);
+      ("input_control", technique_to_json c.Flow.input_control);
+      ("proposed", technique_to_json c.Flow.proposed);
+      ("enhanced_scan", technique_to_json c.Flow.enhanced_scan);
+    ]
+
+let ( let* ) = Result.bind
+
+let string_field obj key =
+  match Json.member key obj with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" key)
+
+let int_field obj key =
+  match Json.member key obj with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing int field %S" key)
+
+let float_field obj key =
+  match Json.member key obj with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some Json.Null -> Ok Float.nan (* JSON cannot carry nan/inf *)
+  | _ -> Error (Printf.sprintf "missing float field %S" key)
+
+let technique_of_json obj key =
+  match Json.member key obj with
+  | Some (Json.Obj _ as t) ->
+    let* dynamic_per_hz_uw = float_field t "dynamic_per_hz_uw" in
+    let* static_uw = float_field t "static_uw" in
+    let* peak_static_uw = float_field t "peak_static_uw" in
+    let* total_toggles = int_field t "total_toggles" in
+    Ok { Flow.dynamic_per_hz_uw; static_uw; peak_static_uw; total_toggles }
+  | _ -> Error (Printf.sprintf "missing technique field %S" key)
+
+let comparison_of_json obj =
+  let* name = string_field obj "name" in
+  let* n_vectors = int_field obj "n_vectors" in
+  let* n_dffs = int_field obj "n_dffs" in
+  let* n_muxable = int_field obj "n_muxable" in
+  let* blocked_gates = int_field obj "blocked_gates" in
+  let* failed_gates = int_field obj "failed_gates" in
+  let* reordered_gates = int_field obj "reordered_gates" in
+  let* traditional = technique_of_json obj "traditional" in
+  let* input_control = technique_of_json obj "input_control" in
+  let* proposed = technique_of_json obj "proposed" in
+  let* enhanced_scan = technique_of_json obj "enhanced_scan" in
+  Ok
+    {
+      Flow.name; n_vectors; n_dffs; n_muxable; blocked_gates; failed_gates;
+      reordered_gates; traditional; input_control; proposed; enhanced_scan;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type job_result = {
+  circuit : string;
+  seed : int;
+  comparison : (Flow.comparison, string) result;
+  from_cache : bool;
+  attempts : int;
+  duration_s : float;
+  telemetry : Json.t option;
+}
+
+type report = { results : job_result list; stats : Runner.stats }
+
+let job_of (point : point) =
+  {
+    Runner.id =
+      Printf.sprintf "%s seed=%d" (Circuit.name point.circuit)
+        point.params.seed;
+    cache_key = Some (cache_key point);
+    run =
+      (fun ~attempt:_ ->
+        comparison_to_json
+          (Flow.run_benchmark_cached ~seed:point.params.seed point.circuit));
+  }
+
+let run ?(jobs = 1) ?(timeout_s = 0.0) ?(retries = 1) ?cache
+    ?(capture_telemetry = true) ?(on_event = fun (_ : Runner.event) -> ())
+    points =
+  let config =
+    {
+      Runner.jobs; timeout_s; retries; cache; capture_telemetry;
+      on_event;
+    }
+  in
+  let results, stats = Runner.run ~config (List.map job_of points) in
+  let results =
+    List.map2
+      (fun (point : point) (r : Runner.result) ->
+        let circuit = Circuit.name point.circuit in
+        let seed = point.params.seed in
+        match r.Runner.outcome with
+        | Runner.Done { value; telemetry; from_cache; attempts; duration_s } ->
+          {
+            circuit; seed;
+            comparison = comparison_of_json value;
+            from_cache; attempts; duration_s; telemetry;
+          }
+        | Runner.Failed { attempts; last } ->
+          {
+            circuit; seed;
+            comparison = Error (Runner.failure_to_string last);
+            from_cache = false; attempts; duration_s = 0.0; telemetry = None;
+          })
+      points results
+  in
+  { results; stats }
+
+let rows t =
+  List.filter_map
+    (fun r ->
+      match r.comparison with
+      | Ok c -> Some (Report.of_comparison c)
+      | Error _ -> None)
+    t.results
+
+let all_ok t =
+  List.for_all (fun r -> Result.is_ok r.comparison) t.results
+
+(* ------------------------------------------------------------------ *)
+(* aggregate report                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let job_to_json r =
+  Json.Obj
+    ([
+       ("circuit", Json.String r.circuit);
+       ("seed", Json.Int r.seed);
+       ( "status",
+         Json.String (match r.comparison with Ok _ -> "ok" | Error _ -> "failed")
+       );
+       ("from_cache", Json.Bool r.from_cache);
+       ("attempts", Json.Int r.attempts);
+       ("duration_s", Json.Float r.duration_s);
+     ]
+    @ (match r.comparison with
+      | Ok c -> [ ("comparison", comparison_to_json c) ]
+      | Error e -> [ ("error", Json.String e) ])
+    @
+    match r.telemetry with
+    | None -> []
+    | Some t -> [ ("telemetry", t) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("pool", Runner.stats_to_json t.stats);
+      ("jobs", Json.List (List.map job_to_json t.results));
+    ]
+
+let csv_header =
+  "circuit,seed,status,from_cache,attempts,duration_s,n_vectors,n_dffs,\
+   n_muxable,trad_dyn_per_hz_uw,trad_static_uw,ic_dyn_per_hz_uw,\
+   ic_static_uw,prop_dyn_per_hz_uw,prop_static_uw,enh_dyn_per_hz_uw,\
+   enh_static_uw,dyn_impr_vs_trad_pct,static_impr_vs_trad_pct"
+
+let csv_line r =
+  let common =
+    Printf.sprintf "%s,%d,%s,%b,%d,%.3f" r.circuit r.seed
+      (match r.comparison with Ok _ -> "ok" | Error _ -> "failed")
+      r.from_cache r.attempts r.duration_s
+  in
+  match r.comparison with
+  | Error _ -> common ^ ",,,,,,,,,,,,,"
+  | Ok c ->
+    let t = c.Flow.traditional
+    and ic = c.Flow.input_control
+    and p = c.Flow.proposed
+    and e = c.Flow.enhanced_scan in
+    Printf.sprintf
+      "%s,%d,%d,%d,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%.3f,%.3f" common
+      c.Flow.n_vectors c.Flow.n_dffs c.Flow.n_muxable t.Flow.dynamic_per_hz_uw
+      t.Flow.static_uw ic.Flow.dynamic_per_hz_uw ic.Flow.static_uw
+      p.Flow.dynamic_per_hz_uw p.Flow.static_uw e.Flow.dynamic_per_hz_uw
+      e.Flow.static_uw
+      (Flow.improvement t.Flow.dynamic_per_hz_uw p.Flow.dynamic_per_hz_uw)
+      (Flow.improvement t.Flow.static_uw p.Flow.static_uw)
+
+let to_csv t =
+  String.concat "\n" (csv_header :: List.map csv_line t.results) ^ "\n"
+
+let write_text path text =
+  Out_channel.with_open_bin path (fun oc -> output_string oc text)
+
+let write_json path t = write_text path (Json.to_string (to_json t) ^ "\n")
+let write_csv path t = write_text path (to_csv t)

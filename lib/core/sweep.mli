@@ -1,0 +1,80 @@
+(** Batch evaluation of the full Table I flow over (circuit ×
+    flow-parameter) points, on top of {!Runner}: forked workers,
+    per-job timeout/retry, crash isolation, and a content-addressed
+    result cache keyed by the netlist text, the parameter point and
+    {!schema_version} — so a re-run recomputes only points whose
+    inputs (or the result schema) changed, and results are
+    bit-identical to running {!Flow.run_benchmark} per circuit. *)
+
+open Netlist
+
+val schema_version : string
+(** Versions both the serialized {!Flow.comparison} layout and the
+    cache key; bump it whenever the flow's semantics change so stale
+    cache entries can never be mistaken for fresh results. *)
+
+type params = { seed : int }
+
+type point = { circuit : Circuit.t; params : params }
+
+val points : ?seeds:int list -> Circuit.t list -> point list
+(** Cross product, grouped per circuit (all seeds of a circuit are
+    adjacent so the in-process ATPG memo helps in sequential mode).
+    [seeds] defaults to [[42]], the flow's default seed. *)
+
+val cache_key : point -> string
+(** Content address: digest of the netlist ([Bench_writer.to_string]),
+    the parameter point and {!schema_version}. *)
+
+val comparison_to_json : Flow.comparison -> Telemetry.Json.t
+
+val comparison_of_json :
+  Telemetry.Json.t -> (Flow.comparison, string) result
+(** Exact inverse of {!comparison_to_json} (floats round-trip
+    bit-identically through the JSON layer's 17-digit rendering;
+    non-finite values degrade to [nan], which JSON cannot carry). *)
+
+type job_result = {
+  circuit : string;
+  seed : int;
+  comparison : (Flow.comparison, string) result;
+  from_cache : bool;
+  attempts : int;  (** 0 when served from cache *)
+  duration_s : float;
+  telemetry : Telemetry.Json.t option;
+      (** the worker's span tree + counters for this job *)
+}
+
+type report = { results : job_result list; stats : Runner.stats }
+
+val run :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?cache:Runner.Cache.t ->
+  ?capture_telemetry:bool ->
+  ?on_event:(Runner.event -> unit) ->
+  point list ->
+  report
+(** Evaluate every point; [results] is in point order. Defaults:
+    [jobs = 1], no timeout, [retries = 1], no cache,
+    [capture_telemetry = true]. *)
+
+val rows : report -> Report.row list
+(** Table I rows of the successful results, in point order. *)
+
+val all_ok : report -> bool
+
+val to_json : report -> Telemetry.Json.t
+(** Aggregate report (schema {!schema_version}): pool counters plus
+    one object per job with its parameters, status, cache provenance,
+    timing, comparison and telemetry snapshot. *)
+
+val to_csv : report -> string
+(** One line per job: parameters, provenance, the raw power numbers of
+    all four structures and the improvement percentages of the
+    proposed structure versus traditional scan. *)
+
+val write_json : string -> report -> unit
+
+val write_csv : string -> report -> unit

@@ -1,0 +1,80 @@
+module Json = Telemetry.Json
+
+let file_schema = "scanpower.cache/1"
+
+type t = { dir : string }
+
+let default_dir () =
+  match Sys.getenv_opt "SCANPOWER_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "_scanpower_cache"
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* Length-prefixing every part keeps the key injective in the parts
+   (no concatenation aliasing); MD5 (stdlib [Digest]) is plenty as a
+   content address — this is a cache, not a security boundary. *)
+let key ~schema ~parts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d:%s" (String.length schema) schema);
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "|%d:" (String.length p));
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let entry_path t k =
+  let prefix = if String.length k >= 2 then String.sub k 0 2 else "xx" in
+  Filename.concat (Filename.concat t.dir prefix) (k ^ ".json")
+
+let discard path = try Sys.remove path with Sys_error _ -> ()
+
+let find t k =
+  let path = entry_path t k in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | raw -> (
+    match Json.of_string (String.trim raw) with
+    | Ok (Json.Obj _ as obj) -> (
+      match
+        (Json.member "schema" obj, Json.member "key" obj, Json.member "value" obj)
+      with
+      | Some (Json.String s), Some (Json.String k'), Some v
+        when s = file_schema && k' = k ->
+        Some v
+      | _ ->
+        discard path;
+        None)
+    | Ok _ | Error _ ->
+      (* truncated or garbled entry: self-heal by dropping it *)
+      discard path;
+      None)
+
+let store t k v =
+  let path = entry_path t k in
+  mkdir_p (Filename.dirname path);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Out_channel.with_open_bin tmp (fun oc ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [
+                ("schema", Json.String file_schema);
+                ("key", Json.String k);
+                ("value", v);
+              ]));
+      output_char oc '\n');
+  Sys.rename tmp path

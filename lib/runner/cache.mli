@@ -1,0 +1,43 @@
+(** Content-addressed on-disk result cache.
+
+    A cache maps a key — the hex digest of the inputs that fully
+    determine a result (netlist text, flow parameters, result-schema
+    version) — to a JSON blob. Entries are immutable: a key either
+    holds exactly the value computed from its inputs or is absent, so
+    re-running a sweep recomputes only the points whose inputs
+    changed.
+
+    Robustness over cleverness: every entry is one self-describing
+    JSON file written atomically (temp file + [rename]); a missing,
+    truncated or otherwise unparseable entry reads as a miss and the
+    damaged file is removed, so a crashed writer can never poison
+    later runs. *)
+
+type t
+
+val default_dir : unit -> string
+(** [$SCANPOWER_CACHE_DIR] when set and non-empty, else
+    ["_scanpower_cache"] in the current directory. *)
+
+val create : ?dir:string -> unit -> t
+(** Open (and create if needed) the cache rooted at [dir] (default
+    {!default_dir}). *)
+
+val dir : t -> string
+
+val key : schema:string -> parts:string list -> string
+(** Digest of [schema] plus every part, length-prefixed so that part
+    boundaries cannot alias (["ab";"c"] and ["a";"bc"] give different
+    keys). The result is a fixed-width lowercase hex string. *)
+
+val entry_path : t -> string -> string
+(** Where the entry for a key lives (two-level fan-out by key prefix).
+    Exposed for tests and debugging; the file may not exist. *)
+
+val find : t -> string -> Telemetry.Json.t option
+(** The stored value, or [None] on a miss. A corrupt entry (bad JSON,
+    wrong schema, key mismatch) is deleted and reported as a miss. *)
+
+val store : t -> string -> Telemetry.Json.t -> unit
+(** Atomically persist a value under a key, overwriting any previous
+    entry. *)

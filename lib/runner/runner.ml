@@ -1,0 +1,455 @@
+module Cache = Cache
+module Json = Telemetry.Json
+
+type job = {
+  id : string;
+  cache_key : string option;
+  run : attempt:int -> Json.t;
+}
+
+type failure = Crashed of string | Timed_out | Job_error of string
+
+let failure_to_string = function
+  | Crashed msg -> Printf.sprintf "worker crashed (%s)" msg
+  | Timed_out -> "timed out"
+  | Job_error msg -> Printf.sprintf "job error: %s" msg
+
+type outcome =
+  | Done of {
+      value : Json.t;
+      telemetry : Json.t option;
+      from_cache : bool;
+      attempts : int;
+      duration_s : float;
+    }
+  | Failed of { attempts : int; last : failure }
+
+type result = { job : job; outcome : outcome }
+
+type event =
+  | Started of { job : job; attempt : int }
+  | Attempt_failed of {
+      job : job;
+      attempt : int;
+      failure : failure;
+      will_retry : bool;
+    }
+  | Finished of { job : job; outcome : outcome }
+
+type stats = {
+  scheduled : int;
+  cache_hits : int;
+  cache_misses : int;
+  computed : int;
+  crashes : int;
+  timeouts : int;
+  retries : int;
+  failed : int;
+}
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("scheduled", Json.Int s.scheduled);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("cache_misses", Json.Int s.cache_misses);
+      ("computed", Json.Int s.computed);
+      ("crashes", Json.Int s.crashes);
+      ("timeouts", Json.Int s.timeouts);
+      ("retries", Json.Int s.retries);
+      ("failed", Json.Int s.failed);
+    ]
+
+type config = {
+  jobs : int;
+  timeout_s : float;
+  retries : int;
+  cache : Cache.t option;
+  capture_telemetry : bool;
+  on_event : event -> unit;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    timeout_s = 0.0;
+    retries = 1;
+    cache = None;
+    capture_telemetry = false;
+    on_event = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* executing one attempt (shared by child and in-process paths)        *)
+(* ------------------------------------------------------------------ *)
+
+let execute cfg job ~attempt =
+  if cfg.capture_telemetry then begin
+    let was_enabled = Telemetry.enabled () in
+    Telemetry.reset ();
+    Telemetry.enable ();
+    let capture () =
+      let snapshot = Telemetry.metrics_snapshot () in
+      if not was_enabled then Telemetry.disable ();
+      snapshot
+    in
+    match job.run ~attempt with
+    | value -> (value, Some (capture ()))
+    | exception e ->
+      ignore (capture ());
+      raise e
+  end
+  else (job.run ~attempt, None)
+
+(* ------------------------------------------------------------------ *)
+(* wire protocol: the worker writes one JSON line and _exits           *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let child_main cfg job ~attempt wfd =
+  let payload =
+    match execute cfg job ~attempt with
+    | value, telemetry ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("value", value);
+          ( "telemetry",
+            match telemetry with Some t -> t | None -> Json.Null );
+        ]
+    | exception e ->
+      Json.Obj
+        [ ("ok", Json.Bool false); ("error", Json.String (Printexc.to_string e)) ]
+  in
+  (try write_all wfd (Json.to_string payload ^ "\n") with _ -> ());
+  (try Unix.close wfd with _ -> ());
+  (* _exit, not exit: the child inherited the parent's buffered
+     channels and must not flush them a second time *)
+  Unix._exit 0
+
+let parse_reply raw =
+  match Json.of_string (String.trim raw) with
+  | Error e -> Error (Crashed (Printf.sprintf "unparseable reply: %s" e))
+  | Ok obj -> (
+    match Json.member "ok" obj with
+    | Some (Json.Bool true) ->
+      let value = Option.value ~default:Json.Null (Json.member "value" obj) in
+      let telemetry =
+        match Json.member "telemetry" obj with
+        | None | Some Json.Null -> None
+        | Some t -> Some t
+      in
+      Ok (value, telemetry)
+    | Some (Json.Bool false) ->
+      let msg =
+        match Json.member "error" obj with
+        | Some (Json.String m) -> m
+        | _ -> "unknown error"
+      in
+      Error (Job_error msg)
+    | _ -> Error (Crashed "malformed reply"))
+
+(* ------------------------------------------------------------------ *)
+(* the pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  idx : int;
+  attempt : int;
+  started : float;
+  deadline : float;
+  mutable eof : bool;
+}
+
+(* mutable mirror of [stats] while the pool runs *)
+type acc = {
+  mutable a_scheduled : int;
+  mutable a_cache_hits : int;
+  mutable a_cache_misses : int;
+  mutable a_computed : int;
+  mutable a_crashes : int;
+  mutable a_timeouts : int;
+  mutable a_retries : int;
+  mutable a_failed : int;
+}
+
+let freeze a =
+  {
+    scheduled = a.a_scheduled;
+    cache_hits = a.a_cache_hits;
+    cache_misses = a.a_cache_misses;
+    computed = a.a_computed;
+    crashes = a.a_crashes;
+    timeouts = a.a_timeouts;
+    retries = a.a_retries;
+    failed = a.a_failed;
+  }
+
+let mirror_to_telemetry s =
+  let add name v = Telemetry.Counter.add (Telemetry.Counter.make name) v in
+  add "runner.jobs.scheduled" s.scheduled;
+  add "runner.jobs.computed" s.computed;
+  add "runner.jobs.failed" s.failed;
+  add "runner.cache.hit" s.cache_hits;
+  add "runner.cache.miss" s.cache_misses;
+  add "runner.worker.crash" s.crashes;
+  add "runner.worker.timeout" s.timeouts;
+  add "runner.retry" s.retries
+
+let cache_blob value telemetry =
+  Json.Obj
+    [
+      ("value", value);
+      ("telemetry", match telemetry with Some t -> t | None -> Json.Null);
+    ]
+
+let run ?(config = default_config) job_list =
+  let cfg = config in
+  let jobs = Array.of_list job_list in
+  let n = Array.length jobs in
+  let results : outcome option array = Array.make n None in
+  let acc =
+    {
+      a_scheduled = n;
+      a_cache_hits = 0;
+      a_cache_misses = 0;
+      a_computed = 0;
+      a_crashes = 0;
+      a_timeouts = 0;
+      a_retries = 0;
+      a_failed = 0;
+    }
+  in
+  let pending = Queue.create () in
+
+  let finished i outcome =
+    results.(i) <- Some outcome;
+    cfg.on_event (Finished { job = jobs.(i); outcome })
+  in
+
+  (* cache pass: answer what we can without running anything *)
+  Array.iteri
+    (fun i job ->
+      match (cfg.cache, job.cache_key) with
+      | Some cache, Some key -> (
+        match Cache.find cache key with
+        | Some blob ->
+          acc.a_cache_hits <- acc.a_cache_hits + 1;
+          let value =
+            Option.value ~default:Json.Null (Json.member "value" blob)
+          in
+          let telemetry =
+            match Json.member "telemetry" blob with
+            | None | Some Json.Null -> None
+            | Some t -> Some t
+          in
+          finished i
+            (Done
+               { value; telemetry; from_cache = true; attempts = 0;
+                 duration_s = 0.0 })
+        | None ->
+          acc.a_cache_misses <- acc.a_cache_misses + 1;
+          Queue.add (i, 1) pending)
+      | _ -> Queue.add (i, 1) pending)
+    jobs;
+
+  let succeed i ~attempt ~started value telemetry =
+    acc.a_computed <- acc.a_computed + 1;
+    (match (cfg.cache, jobs.(i).cache_key) with
+    | Some cache, Some key -> Cache.store cache key (cache_blob value telemetry)
+    | _ -> ());
+    finished i
+      (Done
+         { value; telemetry; from_cache = false; attempts = attempt;
+           duration_s = Unix.gettimeofday () -. started })
+  in
+  let fail i ~attempt failure =
+    (match failure with
+    | Crashed _ -> acc.a_crashes <- acc.a_crashes + 1
+    | Timed_out -> acc.a_timeouts <- acc.a_timeouts + 1
+    | Job_error _ -> ());
+    let will_retry = attempt <= cfg.retries in
+    cfg.on_event
+      (Attempt_failed { job = jobs.(i); attempt; failure; will_retry });
+    if will_retry then begin
+      acc.a_retries <- acc.a_retries + 1;
+      Queue.add (i, attempt + 1) pending
+    end
+    else begin
+      acc.a_failed <- acc.a_failed + 1;
+      finished i (Failed { attempts = attempt; last = failure })
+    end
+  in
+
+  let sequential () =
+    let rec drain () =
+      match Queue.take_opt pending with
+      | None -> ()
+      | Some (i, attempt) ->
+        cfg.on_event (Started { job = jobs.(i); attempt });
+        let started = Unix.gettimeofday () in
+        (match execute cfg jobs.(i) ~attempt with
+        | value, telemetry -> succeed i ~attempt ~started value telemetry
+        | exception e -> fail i ~attempt (Job_error (Printexc.to_string e)));
+        drain ()
+    in
+    drain ()
+  in
+
+  let forked () =
+    let running : worker list ref = ref [] in
+    let chunk = Bytes.create 65536 in
+    let read_some w =
+      if not w.eof then
+        match Unix.read w.fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          w.eof <- true;
+          (try Unix.close w.fd with Unix.Unix_error _ -> ())
+        | k -> Buffer.add_subbytes w.buf chunk 0 k
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    let drain w = while not w.eof do read_some w done in
+    let spawn i attempt =
+      (* anything buffered would otherwise be flushed twice once the
+         child exits *)
+      Format.pp_print_flush Format.std_formatter ();
+      Format.pp_print_flush Format.err_formatter ();
+      flush stdout;
+      flush stderr;
+      let rfd, wfd = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (try Unix.close rfd with Unix.Unix_error _ -> ());
+        (* drop the read ends of sibling pipes so a sibling's EOF is
+           seen as soon as that sibling exits *)
+        List.iter
+          (fun w -> try Unix.close w.fd with Unix.Unix_error _ -> ())
+          !running;
+        child_main cfg jobs.(i) ~attempt wfd
+      | pid ->
+        Unix.close wfd;
+        cfg.on_event (Started { job = jobs.(i); attempt });
+        let now = Unix.gettimeofday () in
+        let deadline =
+          if cfg.timeout_s > 0.0 then now +. cfg.timeout_s else infinity
+        in
+        running :=
+          { pid; fd = rfd; buf = Buffer.create 4096; idx = i; attempt;
+            started = now; deadline; eof = false }
+          :: !running
+    in
+    let remove w = running := List.filter (fun x -> x.pid <> w.pid) !running in
+    let complete w status =
+      drain w;
+      remove w;
+      match status with
+      | Unix.WEXITED 0 -> (
+        match parse_reply (Buffer.contents w.buf) with
+        | Ok (value, telemetry) ->
+          succeed w.idx ~attempt:w.attempt ~started:w.started value telemetry
+        | Error failure -> fail w.idx ~attempt:w.attempt failure)
+      | Unix.WEXITED code ->
+        fail w.idx ~attempt:w.attempt
+          (Crashed (Printf.sprintf "exit %d" code))
+      | Unix.WSIGNALED sg ->
+        fail w.idx ~attempt:w.attempt (Crashed (Printf.sprintf "signal %d" sg))
+      | Unix.WSTOPPED _ ->
+        fail w.idx ~attempt:w.attempt (Crashed "stopped")
+    in
+    let expire w =
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] w.pid);
+      if not w.eof then begin
+        w.eof <- true;
+        try Unix.close w.fd with Unix.Unix_error _ -> ()
+      end;
+      remove w;
+      fail w.idx ~attempt:w.attempt Timed_out
+    in
+    let kill_everything () =
+      List.iter
+        (fun w ->
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+          if not w.eof then
+            try Unix.close w.fd with Unix.Unix_error _ -> ())
+        !running;
+      running := []
+    in
+    try
+      while (not (Queue.is_empty pending)) || !running <> [] do
+        while
+          List.length !running < cfg.jobs && not (Queue.is_empty pending)
+        do
+          let i, attempt = Queue.take pending in
+          spawn i attempt
+        done;
+        let now = Unix.gettimeofday () in
+        List.iter expire (List.filter (fun w -> now > w.deadline) !running);
+        if !running <> [] then begin
+          let fds =
+            List.filter_map
+              (fun w -> if w.eof then None else Some w.fd)
+              !running
+          in
+          (if fds = [] then Unix.sleepf 0.002
+           else
+             let timeout =
+               let next =
+                 List.fold_left
+                   (fun t w -> Float.min t w.deadline)
+                   infinity !running
+               in
+               if next = infinity then 0.2
+               else Float.max 0.005 (Float.min 0.2 (next -. now))
+             in
+             match Unix.select fds [] [] timeout with
+             | readable, _, _ ->
+               List.iter
+                 (fun w -> if List.mem w.fd readable then read_some w)
+                 !running
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          List.iter
+            (fun w ->
+              match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+              | 0, _ -> ()
+              | _, status -> complete w status
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                complete w (Unix.WEXITED 0))
+            !running
+        end
+      done
+    with e ->
+      kill_everything ();
+      raise e
+  in
+
+  if Queue.is_empty pending then ()
+  else if cfg.jobs <= 1 || not Sys.unix then sequential ()
+  else forked ();
+
+  let stats = freeze acc in
+  mirror_to_telemetry stats;
+  ( Array.to_list
+      (Array.mapi
+         (fun i job ->
+           match results.(i) with
+           | Some outcome -> { job; outcome }
+           | None ->
+             (* unreachable: every scheduled job ends in [finished] *)
+             { job; outcome = Failed { attempts = 0; last = Crashed "lost" } })
+         jobs),
+    stats )

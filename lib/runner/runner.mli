@@ -1,0 +1,104 @@
+(** Parallel job runner: fan a batch of independent jobs out over a
+    pool of forked worker processes, with a content-addressed result
+    cache, per-job timeout and retry, and crash isolation — a worker
+    dying on one job never takes the batch down.
+
+    The unit of work is a {!job}: an id, an optional cache key, and a
+    closure producing a JSON value. With [jobs > 1] each attempt runs
+    in a freshly forked child ([Unix.fork] + a pipe), so a segfault,
+    [exit], OOM kill or runaway loop in one job is contained and
+    simply retried; [jobs = 1] (or a non-Unix host) degrades to
+    in-process sequential execution where only exceptions are
+    containable. Results come back over the pipe as one JSON line per
+    worker, length-unbounded (the parent drains pipes with [select]
+    while workers run, so a large result cannot deadlock the pool).
+
+    When a {!Cache.t} is supplied, jobs whose key hits are answered
+    without spawning anything, and freshly computed values are stored
+    on completion — so an identical re-run does zero recomputation.
+
+    Telemetry: with [capture_telemetry] each worker resets + enables
+    telemetry around its job and ships the resulting metrics snapshot
+    (span tree, counters) back beside the value; pool-level counts are
+    mirrored into the process-wide telemetry counters
+    ([runner.jobs.scheduled], [runner.jobs.computed],
+    [runner.cache.hit], [runner.cache.miss], [runner.worker.crash],
+    [runner.worker.timeout], [runner.retry], [runner.jobs.failed])
+    when telemetry is enabled. In sequential mode the capture
+    necessarily resets the {e global} telemetry state around every
+    job; callers that interleave their own spans with a sequential
+    captured run should expect them to be cleared. *)
+
+module Cache : module type of Cache
+
+type job = {
+  id : string;  (** for events and reports; need not be unique *)
+  cache_key : string option;  (** [None] = never cached *)
+  run : attempt:int -> Telemetry.Json.t;
+      (** The work. [attempt] is 1-based and increments on retry.
+          Runs in a forked child when [jobs > 1]. *)
+}
+
+type failure =
+  | Crashed of string  (** worker died: signal, nonzero exit, garbled reply *)
+  | Timed_out
+  | Job_error of string  (** the closure raised *)
+
+val failure_to_string : failure -> string
+
+type outcome =
+  | Done of {
+      value : Telemetry.Json.t;
+      telemetry : Telemetry.Json.t option;
+          (** the worker's metrics snapshot (or the one stored beside
+              a cached value) when capture is on *)
+      from_cache : bool;
+      attempts : int;  (** 0 when served from cache *)
+      duration_s : float;  (** wall clock of the successful attempt *)
+    }
+  | Failed of { attempts : int; last : failure }
+
+type result = { job : job; outcome : outcome }
+
+type event =
+  | Started of { job : job; attempt : int }
+  | Attempt_failed of {
+      job : job;
+      attempt : int;
+      failure : failure;
+      will_retry : bool;
+    }
+  | Finished of { job : job; outcome : outcome }
+      (** exactly once per job, cache hits included *)
+
+type stats = {
+  scheduled : int;  (** total jobs submitted *)
+  cache_hits : int;
+  cache_misses : int;  (** jobs that had a key but no entry *)
+  computed : int;  (** attempts that produced a value *)
+  crashes : int;
+  timeouts : int;
+  retries : int;
+  failed : int;  (** jobs with no value after all attempts *)
+}
+
+val stats_to_json : stats -> Telemetry.Json.t
+
+type config = {
+  jobs : int;  (** max concurrent workers; [<= 1] = in-process *)
+  timeout_s : float;  (** per attempt; [<= 0] = none (forked mode only) *)
+  retries : int;  (** extra attempts after the first *)
+  cache : Cache.t option;
+  capture_telemetry : bool;
+  on_event : event -> unit;  (** called in the parent, in scheduling order *)
+}
+
+val default_config : config
+(** [jobs = 1], no timeout, [retries = 1], no cache, no capture,
+    events ignored. *)
+
+val run : ?config:config -> job list -> result list * stats
+(** Run every job; results come back in submission order regardless of
+    completion order. Never raises for a job-level failure — those are
+    [Failed] outcomes; [run] itself only raises on pool-level misuse
+    (and then reaps every live worker first). *)

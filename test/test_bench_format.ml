@@ -69,6 +69,42 @@ let check_roundtrip () =
       (Sim.Seq_sim.step sim' v)
   done
 
+(* Node-by-node circuit equality up to node numbering: same source /
+   output name sets, and for every node the same kind and the same
+   fanin names in the same order. *)
+let check_structurally_equal c c' =
+  let name_of cc id = (Circuit.node cc id).Circuit.name in
+  let names cc ids = Array.to_list ids |> List.map (name_of cc) in
+  Alcotest.(check (list string))
+    "inputs" (names c (Circuit.inputs c)) (names c' (Circuit.inputs c'));
+  Alcotest.(check (list string))
+    "outputs" (names c (Circuit.outputs c)) (names c' (Circuit.outputs c'));
+  Alcotest.(check (list string))
+    "dffs" (names c (Circuit.dffs c)) (names c' (Circuit.dffs c'));
+  Array.iter
+    (fun nd ->
+      let id' = Circuit.find c' nd.Circuit.name in
+      let nd' = Circuit.node c' id' in
+      Alcotest.(check bool)
+        (nd.Circuit.name ^ " same kind")
+        true
+        (Gate.equal_kind nd.Circuit.kind nd'.Circuit.kind);
+      Alcotest.(check (list string))
+        (nd.Circuit.name ^ " same fanins")
+        (Array.to_list nd.Circuit.fanins |> List.map (name_of c))
+        (Array.to_list nd'.Circuit.fanins |> List.map (name_of c')))
+    (Circuit.nodes c)
+
+(* the satellite round-trip: the embedded s27 text itself, through the
+   writer and back, must reproduce the circuit node for node *)
+let check_roundtrip_structural () =
+  let c = Bench_parser.parse_string ~name:"s27" Circuits.s27_bench_text in
+  let c' = Bench_parser.parse_string ~name:"s27" (Bench_writer.to_string c) in
+  check_structurally_equal c c'
+
+let check_truncated_line =
+  expect_parse_error "INPUT(a)\nOUTPUT(y)\ny = NAND(a\n"
+
 let check_roundtrip_generated () =
   let c =
     Circuits.generate
@@ -93,6 +129,9 @@ let suite =
     Alcotest.test_case "unknown gate" `Quick check_unknown_gate;
     Alcotest.test_case "bad arity" `Quick check_bad_arity;
     Alcotest.test_case "writer/parser roundtrip (s27)" `Quick check_roundtrip;
+    Alcotest.test_case "writer/parser roundtrip (structural)" `Quick
+      check_roundtrip_structural;
+    Alcotest.test_case "truncated line rejected" `Quick check_truncated_line;
     Alcotest.test_case "writer/parser roundtrip (generated)" `Quick
       check_roundtrip_generated;
   ]

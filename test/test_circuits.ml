@@ -13,6 +13,27 @@ let check_registry () =
   Alcotest.check_raises "unknown" Not_found (fun () ->
       ignore (Circuits.by_name "s9999"))
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  needle = "" || go 0
+
+let check_find () =
+  (match Circuits.find "s382" with
+  | Ok c -> Alcotest.(check string) "found" "s382" (Circuit.name c)
+  | Error e -> Alcotest.fail e);
+  match Circuits.find "s9999" with
+  | Ok _ -> Alcotest.fail "s9999 should not resolve"
+  | Error msg ->
+    (* the error must name the offender and list every valid choice *)
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s" needle)
+          true
+          (contains ~needle msg))
+      ("s9999" :: Circuits.names)
+
 let check_profiles_respected () =
   List.iter
     (fun p ->
@@ -119,6 +140,7 @@ let check_s27_is_genuine () =
 let suite =
   [
     Alcotest.test_case "registry" `Quick check_registry;
+    Alcotest.test_case "find lists valid names" `Quick check_find;
     Alcotest.test_case "profiles respected" `Quick check_profiles_respected;
     Alcotest.test_case "generator deterministic" `Quick check_generator_deterministic;
     Alcotest.test_case "seed changes structure" `Quick check_seed_changes_structure;

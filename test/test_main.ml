@@ -28,4 +28,5 @@ let () =
       ("scoap", Test_scoap.suite);
       ("circuits", Test_circuits.suite);
       ("telemetry", Test_telemetry.suite);
+      ("runner", Test_runner.suite);
     ]
