@@ -454,6 +454,107 @@ let ablation_atpg_engines () =
     (if fast then [ "s344" ] else [ "s344"; "s382" ])
 
 (* ------------------------------------------------------------------ *)
+(* Kernel micro-bench: compiled form + packed scan engine              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock per kernel on the Table I shift loop: circuit compile,
+   packed 64-lane shift simulation, scalar event-driven reference, and
+   64-way fault simulation. Cross-checks that both scan engines return
+   identical toggle counts, and writes the numbers (and the
+   packed/scalar speedup) to BENCH_kernels.json. *)
+
+let kernel_circuits =
+  if fast then [ "s344"; "s1196" ] else [ "s344"; "s1196"; "s5378"; "s9234" ]
+
+let kernels_json = ref []
+
+let kernels () =
+  section "Kernels: compiled circuit + packed scan shift vs scalar reference";
+  (* best-of-[reps] wall clock after one untimed warmup run, so cold
+     caches and lazy initialisation don't pollute the comparison *)
+  let time ?(reps = 1) f =
+    let r = ref (f ()) in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      r := f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!r, !best)
+  in
+  let shift_reps = if fast then 3 else 1 in
+  List.iter
+    (fun name ->
+      let c = Circuits.by_name name (* generated pre-mapped *) in
+      let chain = Scan.Scan_chain.natural c in
+      let vectors = Atpg.Pattern_gen.random_vectors ~seed:7 ~count:20 c in
+      let n_gates = Netlist.Circuit.node_count c in
+      let _, compile_s =
+        time ~reps:10 (fun () -> Netlist.Compiled.of_circuit c)
+      in
+      let packed, packed_s =
+        time ~reps:shift_reps (fun () ->
+            Scan.Scan_sim.measure ~engine:Scan.Scan_sim.Packed c chain
+              Scan.Scan_sim.traditional ~vectors)
+      in
+      let scalar, scalar_s =
+        time ~reps:shift_reps (fun () ->
+            Scan.Scan_sim.measure ~engine:Scan.Scan_sim.Scalar c chain
+              Scan.Scan_sim.traditional ~vectors)
+      in
+      (* the engines must agree bit for bit on the activity they count *)
+      if packed.Scan.Scan_sim.toggles <> scalar.Scan.Scan_sim.toggles then
+        failwith (name ^ ": packed/scalar per-node toggle mismatch");
+      if
+        packed.Scan.Scan_sim.per_cycle_toggles
+        <> scalar.Scan.Scan_sim.per_cycle_toggles
+      then failwith (name ^ ": packed/scalar per-cycle toggle mismatch");
+      let faults = Atpg.Fault.collapsed_faults c in
+      let (detected, _), fault_s =
+        time (fun () -> Atpg.Fault_simulation.split c ~faults ~vectors)
+      in
+      let speedup = scalar_s /. Float.max 1e-9 packed_s in
+      Format.printf
+        "%-8s compile %7.4fs | shift sim: packed %8.4fs vs scalar %8.4fs \
+         (%5.1fx) | fault sim %7.3fs (%d/%d detected)@."
+        name compile_s packed_s scalar_s speedup fault_s (List.length detected)
+        (List.length faults);
+      kernels_json :=
+        ( name,
+          Telemetry.Json.Obj
+            [
+              ("nodes", Telemetry.Json.Int n_gates);
+              ("flip_flops", Telemetry.Json.Int (Scan.Scan_chain.length chain));
+              ("vectors", Telemetry.Json.Int (List.length vectors));
+              ("cycles", Telemetry.Json.Int packed.Scan.Scan_sim.cycles);
+              ( "total_toggles",
+                Telemetry.Json.Int packed.Scan.Scan_sim.total_toggles );
+              ("compile_s", Telemetry.Json.Float compile_s);
+              ("packed_shift_s", Telemetry.Json.Float packed_s);
+              ("scalar_shift_s", Telemetry.Json.Float scalar_s);
+              ("packed_speedup", Telemetry.Json.Float speedup);
+              ("fault_sim_s", Telemetry.Json.Float fault_s);
+              ("faults", Telemetry.Json.Int (List.length faults));
+              ("faults_detected", Telemetry.Json.Int (List.length detected));
+            ] )
+        :: !kernels_json)
+    kernel_circuits;
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "scanpower.bench_kernels/1");
+        ("fast", Telemetry.Json.Bool fast);
+        ("circuits", Telemetry.Json.Obj (List.rev !kernels_json));
+      ]
+  in
+  let oc = open_out "BENCH_kernels.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "kernel timings written to BENCH_kernels.json@."
+
+(* ------------------------------------------------------------------ *)
 (* bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -547,7 +648,14 @@ let micro () =
   in
   List.iter print_row rows
 
-let stage name f = Telemetry.Span.with_ ~name:("bench." ^ name) f
+(* SCANPOWER_BENCH_ONLY=<name> runs a single stage (e.g. the CI kernel
+   smoke step runs only "kernels"); unset runs the full sequence. *)
+let only = Sys.getenv_opt "SCANPOWER_BENCH_ONLY"
+
+let stage name f =
+  match only with
+  | Some o when o <> name -> ()
+  | _ -> Telemetry.Span.with_ ~name:("bench." ^ name) f
 
 let () =
   Format.printf "scanpower bench harness%s@."
@@ -563,6 +671,7 @@ let () =
   stage "ablation_exact_probabilities" ablation_exact_probabilities;
   stage "ablation_multi_chain" ablation_multi_chain;
   stage "ablation_atpg_engines" ablation_atpg_engines;
+  stage "kernels" kernels;
   stage "micro" micro;
   (match json_out with
   | None -> ()

@@ -343,14 +343,14 @@ let export_cmd =
 (* ---- peak ---- *)
 
 let peak_cmd =
-  let run spec seed window tele =
+  let run spec seed window engine tele =
     let* metrics_out = tele in
     let* c = mapped spec in
     let chain = Scan.Scan_chain.natural c in
     let vectors = Atpg.Pattern_gen.random_vectors ~seed ~count:50 c in
     List.iter
       (fun (tag, policy) ->
-        let m = Scan.Scan_sim.measure c chain policy ~vectors in
+        let m = Scan.Scan_sim.measure ~engine c chain policy ~vectors in
         let p =
           Power.Peak.of_toggle_series ~window m.Scan.Scan_sim.per_cycle_toggles
         in
@@ -365,10 +365,26 @@ let peak_cmd =
   let window =
     Arg.(value & opt int 16 & info [ "window" ] ~doc:"Thermal window, cycles.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("packed", Scan.Scan_sim.Packed); ("scalar", Scan.Scan_sim.Scalar);
+             ])
+          Scan.Scan_sim.Packed
+      & info [ "engine" ]
+          ~doc:
+            "Scan simulation kernel: packed (64 cycles per word, default) or \
+             scalar (event-driven reference).")
+  in
   Cmd.v
     (Cmd.info "peak"
        ~doc:"Per-cycle activity profile and peak power during scan.")
-    Term.(term_result (const run $ circuit_arg $ seed_arg $ window $ telemetry_term))
+    Term.(
+      term_result
+        (const run $ circuit_arg $ seed_arg $ window $ engine $ telemetry_term))
 
 (* ---- table1 ---- *)
 

@@ -5,34 +5,21 @@ let word_bits = 64
 let m_batches = Telemetry.Counter.make "atpg.fault_sim.batches"
 let m_words = Telemetry.Counter.make "atpg.fault_sim.detection_words"
 
-(* Bitwise gate evaluation over packed patterns. *)
-let eval_word kind (vs : int64 array) =
-  let fold op seed =
-    let acc = ref seed in
-    Array.iter (fun v -> acc := op !acc v) vs;
-    !acc
-  in
-  match kind with
-  | Gate.Input | Gate.Dff -> invalid_arg "Fault_simulation: source eval"
-  | Gate.Output | Gate.Buf -> vs.(0)
-  | Gate.Not -> Int64.lognot vs.(0)
-  | Gate.And -> fold Int64.logand Int64.minus_one
-  | Gate.Nand -> Int64.lognot (fold Int64.logand Int64.minus_one)
-  | Gate.Or -> fold Int64.logor 0L
-  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
-  | Gate.Xor -> fold Int64.logxor 0L
-  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
-
 type machine = {
-  circuit : Circuit.t;
+  comp : Compiled.t;
   good : int64 array; (* node id -> packed good values *)
   observables : int array;
-  cones : (int, int array) Hashtbl.t; (* site node -> topo-sorted cone *)
+  cones : int array option array; (* site node -> topo-sorted cone *)
   (* stamped per-fault scratch: faulty value of a node is valid only
      when its stamp matches the machine's current stamp *)
   faulty : int64 array;
   faulty_stamp : int array;
   mutable stamp : int;
+  (* stamped scratch for cone construction (no per-site allocation
+     until the cone is interned) *)
+  cone_mark : int array;
+  mutable cone_stamp : int;
+  cone_buf : int array;
 }
 
 let observables c =
@@ -45,20 +32,23 @@ let observables c =
 let make c =
   let n = Circuit.node_count c in
   {
-    circuit = c;
+    comp = Compiled.of_circuit c;
     good = Array.make n 0L;
     observables = observables c;
-    cones = Hashtbl.create 256;
+    cones = Array.make n None;
     faulty = Array.make n 0L;
     faulty_stamp = Array.make n 0;
     stamp = 0;
+    cone_mark = Array.make n 0;
+    cone_stamp = 0;
+    cone_buf = Array.make n 0;
   }
 
 (* Pack up to 64 vectors (positional over sources) into the good
    machine and simulate; returns the valid-pattern mask. *)
 let load_good m vectors =
   Telemetry.Counter.inc m_batches;
-  let c = m.circuit in
+  let c = Compiled.circuit m.comp in
   let srcs = Circuit.sources c in
   let count = List.length vectors in
   assert (count > 0 && count <= word_bits);
@@ -71,72 +61,125 @@ let load_good m vectors =
         vectors;
       m.good.(id) <- !w)
     srcs;
-  Array.iter
-    (fun id ->
-      let nd = Circuit.node c id in
-      if not (Gate.is_source nd.kind) then
-        m.good.(id) <- eval_word nd.kind (Array.map (fun f -> m.good.(f)) nd.fanins))
-    (Circuit.topo_order c);
+  Compiled.eval_words m.comp m.good;
   if count = word_bits then Int64.minus_one
   else Int64.sub (Int64.shift_left 1L count) 1L
 
-(* Structural fanout cone of a node, in topological order. *)
+(* Structural fanout cone of a node, in topological order. Cones are
+   interned per site in a dense array (the former per-site Hashtbl);
+   construction reuses machine-level stamped scratch. *)
 let cone m site =
-  match Hashtbl.find_opt m.cones site with
+  match m.cones.(site) with
   | Some arr -> arr
   | None ->
-    let c = m.circuit in
-    let in_cone = Array.make (Circuit.node_count c) false in
-    in_cone.(site) <- true;
-    let members = ref [] in
+    m.cone_stamp <- m.cone_stamp + 1;
+    let stamp = m.cone_stamp in
+    let mark = m.cone_mark in
+    let opcode = Compiled.opcode m.comp in
+    let fanout_off = Compiled.fanout_off m.comp in
+    let fanout = Compiled.fanout m.comp in
+    mark.(site) <- stamp;
+    let len = ref 0 in
     Array.iter
       (fun id ->
-        if in_cone.(id) then begin
-          members := id :: !members;
-          Array.iter
-            (fun succ ->
-              if not (Gate.equal_kind (Circuit.node c succ).Circuit.kind Gate.Dff)
-              then in_cone.(succ) <- true)
-            (Circuit.node c id).Circuit.fanouts
+        if mark.(id) = stamp then begin
+          m.cone_buf.(!len) <- id;
+          incr len;
+          for i = fanout_off.(id) to fanout_off.(id + 1) - 1 do
+            let succ = fanout.(i) in
+            if opcode.(succ) <> Compiled.op_dff then mark.(succ) <- stamp
+          done
         end)
-      (Circuit.topo_order c);
-    let arr = Array.of_list (List.rev !members) in
-    Hashtbl.replace m.cones site arr;
+      (Compiled.topo m.comp);
+    let arr = Array.sub m.cone_buf 0 !len in
+    m.cones.(site) <- Some arr;
     arr
+
+(* Faulty-machine value of a fanin: the per-fault scratch when the
+   node sits inside the cone already visited this stamp, the good
+   machine otherwise. *)
+let[@inline] sel m stamp f =
+  if m.faulty_stamp.(f) = stamp then m.faulty.(f) else m.good.(f)
+
+let rec fold_and_sel m stamp (fa : int array) i hi ov_pin ov_word acc =
+  if i >= hi then acc
+  else
+    let v = if i = ov_pin then ov_word else sel m stamp fa.(i) in
+    fold_and_sel m stamp fa (i + 1) hi ov_pin ov_word (Int64.logand acc v)
+
+let rec fold_or_sel m stamp (fa : int array) i hi ov_pin ov_word acc =
+  if i >= hi then acc
+  else
+    let v = if i = ov_pin then ov_word else sel m stamp fa.(i) in
+    fold_or_sel m stamp fa (i + 1) hi ov_pin ov_word (Int64.logor acc v)
+
+let rec fold_xor_sel m stamp (fa : int array) i hi ov_pin ov_word acc =
+  if i >= hi then acc
+  else
+    let v = if i = ov_pin then ov_word else sel m stamp fa.(i) in
+    fold_xor_sel m stamp fa (i + 1) hi ov_pin ov_word (Int64.logxor acc v)
+
+(* Bitwise evaluation of one cone node against the stamped faulty
+   scratch, with pin [ov_pin] (absolute index into the CSR fanin
+   array, or -1) forced to [ov_word]. Allocation-free: no fanin-value
+   array is materialised. *)
+let eval_faulty m stamp id ov_pin ov_word =
+  let fanin_off = Compiled.fanin_off m.comp in
+  let fa = Compiled.fanin m.comp in
+  let lo = fanin_off.(id) and hi = fanin_off.(id + 1) in
+  let op = (Compiled.opcode m.comp).(id) in
+  if op = Compiled.op_and then
+    fold_and_sel m stamp fa lo hi ov_pin ov_word Int64.minus_one
+  else if op = Compiled.op_nand then
+    Int64.lognot (fold_and_sel m stamp fa lo hi ov_pin ov_word Int64.minus_one)
+  else if op = Compiled.op_or then fold_or_sel m stamp fa lo hi ov_pin ov_word 0L
+  else if op = Compiled.op_nor then
+    Int64.lognot (fold_or_sel m stamp fa lo hi ov_pin ov_word 0L)
+  else if op = Compiled.op_not then
+    Int64.lognot (if lo = ov_pin then ov_word else sel m stamp fa.(lo))
+  else if op = Compiled.op_buf || op = Compiled.op_output then
+    if lo = ov_pin then ov_word else sel m stamp fa.(lo)
+  else if op = Compiled.op_xor then
+    fold_xor_sel m stamp fa lo hi ov_pin ov_word 0L
+  else if op = Compiled.op_xnor then
+    Int64.lognot (fold_xor_sel m stamp fa lo hi ov_pin ov_word 0L)
+  else invalid_arg "Fault_simulation: source eval"
 
 (* Detection word of one fault against the loaded good machine: bit i
    set iff valid pattern i detects the fault. *)
 let fault_detection_word m mask (f : Fault.t) =
   Telemetry.Counter.inc m_words;
-  let c = m.circuit in
   let site = Fault.site_node f in
   let cone_nodes = cone m site in
   let stuck_word = if f.Fault.stuck then Int64.minus_one else 0L in
   m.stamp <- m.stamp + 1;
   let stamp = m.stamp in
-  let value id =
-    if m.faulty_stamp.(id) = stamp then m.faulty.(id) else m.good.(id)
-  in
+  let fanin_off = Compiled.fanin_off m.comp in
   let det = ref 0L in
-  Array.iter
-    (fun id ->
-      let nd = Circuit.node c id in
-      let w =
-        match f.Fault.site with
-        | Fault.Output_line fid when fid = id -> stuck_word
-        | Fault.Output_line _ | Fault.Input_pin _ ->
-          if Gate.is_source nd.kind then m.good.(id)
-          else begin
-            let vs = Array.map (fun fanin -> value fanin) nd.fanins in
-            (match f.Fault.site with
-            | Fault.Input_pin (gid, pin) when gid = id -> vs.(pin) <- stuck_word
-            | Fault.Input_pin _ | Fault.Output_line _ -> ());
-            eval_word nd.kind vs
-          end
-      in
-      m.faulty.(id) <- w;
-      m.faulty_stamp.(id) <- stamp)
-    cone_nodes;
+  (match f.Fault.site with
+  | Fault.Output_line fid ->
+    Array.iter
+      (fun id ->
+        let w =
+          if fid = id then stuck_word
+          else if Compiled.is_source m.comp id then m.good.(id)
+          else eval_faulty m stamp id (-1) 0L
+        in
+        m.faulty.(id) <- w;
+        m.faulty_stamp.(id) <- stamp)
+      cone_nodes
+  | Fault.Input_pin (gid, pin) ->
+    Array.iter
+      (fun id ->
+        let w =
+          if Compiled.is_source m.comp id then m.good.(id)
+          else
+            let ov_pin = if gid = id then fanin_off.(id) + pin else -1 in
+            eval_faulty m stamp id ov_pin stuck_word
+        in
+        m.faulty.(id) <- w;
+        m.faulty_stamp.(id) <- stamp)
+      cone_nodes);
   Array.iter
     (fun ob ->
       if m.faulty_stamp.(ob) = stamp then

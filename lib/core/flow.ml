@@ -93,7 +93,7 @@ let result_of (m : Scan.Scan_sim.result) =
     total_toggles = m.Scan.Scan_sim.total_toggles;
   }
 
-let evaluate ?(seed = 42) p =
+let evaluate ?(engine = Scan.Scan_sim.Packed) ?(seed = 42) p =
   Telemetry.Span.with_ ~name:"flow.evaluate" (fun () ->
   let span name fn = Telemetry.Span.with_ ~name fn in
   let c = p.circuit in
@@ -102,13 +102,15 @@ let evaluate ?(seed = 42) p =
   (* 1. traditional scan *)
   let trad =
     span "scan_sim.traditional" (fun () ->
-        Scan.Scan_sim.measure c chain Scan.Scan_sim.traditional ~vectors)
+        Scan.Scan_sim.measure ~engine c chain Scan.Scan_sim.traditional
+          ~vectors)
   in
   (* enhanced scan ([5]/hold latches): full isolation, but at a latch
      per cell and a speed penalty the paper's structure avoids *)
   let enh =
     span "scan_sim.enhanced" (fun () ->
-        Scan.Scan_sim.measure c chain Scan.Scan_sim.enhanced_scan ~vectors)
+        Scan.Scan_sim.measure ~engine c chain Scan.Scan_sim.enhanced_scan
+          ~vectors)
   in
   (* 2. input control baseline [8] *)
   let ic = span "c_algorithm" (fun () -> C_algorithm.find ~seed:(seed + 1) c) in
@@ -121,7 +123,7 @@ let evaluate ?(seed = 42) p =
   in
   let ic_m =
     span "scan_sim.input_control" (fun () ->
-        Scan.Scan_sim.measure c chain ic_policy ~vectors)
+        Scan.Scan_sim.measure ~engine c chain ic_policy ~vectors)
   in
   (* 3. proposed structure *)
   let mux = span "mux_select" (fun () -> Mux_insertion.select c) in
@@ -158,7 +160,7 @@ let evaluate ?(seed = 42) p =
   in
   let prop_m =
     span "scan_sim.proposed" (fun () ->
-        Scan.Scan_sim.measure c' chain prop_policy ~vectors)
+        Scan.Scan_sim.measure ~engine c' chain prop_policy ~vectors)
   in
   Telemetry.Log.debug "flow.evaluate done"
     ~fields:
@@ -183,15 +185,15 @@ let evaluate ?(seed = 42) p =
     enhanced_scan = result_of enh;
   })
 
-let run_benchmark ?atpg_config ?seed c =
+let run_benchmark ?atpg_config ?engine ?seed c =
   Telemetry.Span.with_ ~name:"flow.run_benchmark"
     ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
-    (fun () -> evaluate ?seed (prepare ?atpg_config c))
+    (fun () -> evaluate ?engine ?seed (prepare ?atpg_config c))
 
-let run_benchmark_cached ?atpg_config ?seed c =
+let run_benchmark_cached ?atpg_config ?engine ?seed c =
   Telemetry.Span.with_ ~name:"flow.run_benchmark"
     ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
-    (fun () -> evaluate ?seed (prepare_cached ?atpg_config c))
+    (fun () -> evaluate ?engine ?seed (prepare_cached ?atpg_config c))
 
 (* [base = 0] admits no percentage: returning 0.0 there made a
    regression from a zero baseline read as "no change", so it now

@@ -51,14 +51,27 @@ type comparison = {
           which is exactly what the paper's method avoids *)
 }
 
-val evaluate : ?seed:int -> prepared -> comparison
+val evaluate : ?engine:Scan.Scan_sim.engine -> ?seed:int -> prepared -> comparison
+(** [engine] selects the scan-simulation kernel (default
+    {!Scan.Scan_sim.Packed}); [Scalar] replays the event-driven
+    reference. Toggle counts, dynamic power and responses are identical
+    between the two; the static averages agree to float accumulation
+    order. *)
 
 val run_benchmark :
-  ?atpg_config:Atpg.Pattern_gen.config -> ?seed:int -> Circuit.t -> comparison
+  ?atpg_config:Atpg.Pattern_gen.config ->
+  ?engine:Scan.Scan_sim.engine ->
+  ?seed:int ->
+  Circuit.t ->
+  comparison
 (** [prepare] followed by [evaluate]. *)
 
 val run_benchmark_cached :
-  ?atpg_config:Atpg.Pattern_gen.config -> ?seed:int -> Circuit.t -> comparison
+  ?atpg_config:Atpg.Pattern_gen.config ->
+  ?engine:Scan.Scan_sim.engine ->
+  ?seed:int ->
+  Circuit.t ->
+  comparison
 (** [prepare_cached] followed by [evaluate]: identical results to
     {!run_benchmark} (the preparation is deterministic), minus the
     repeated ATPG when the same circuit is evaluated at several

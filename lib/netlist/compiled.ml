@@ -1,0 +1,195 @@
+let op_input = 0
+let op_dff = 1
+let op_output = 2
+let op_buf = 3
+let op_not = 4
+let op_and = 5
+let op_nand = 6
+let op_or = 7
+let op_nor = 8
+let op_xor = 9
+let op_xnor = 10
+
+let opcode_of_kind = function
+  | Gate.Input -> op_input
+  | Gate.Dff -> op_dff
+  | Gate.Output -> op_output
+  | Gate.Buf -> op_buf
+  | Gate.Not -> op_not
+  | Gate.And -> op_and
+  | Gate.Nand -> op_nand
+  | Gate.Or -> op_or
+  | Gate.Nor -> op_nor
+  | Gate.Xor -> op_xor
+  | Gate.Xnor -> op_xnor
+
+let kind_of_opcode op =
+  if op = op_input then Gate.Input
+  else if op = op_dff then Gate.Dff
+  else if op = op_output then Gate.Output
+  else if op = op_buf then Gate.Buf
+  else if op = op_not then Gate.Not
+  else if op = op_and then Gate.And
+  else if op = op_nand then Gate.Nand
+  else if op = op_or then Gate.Or
+  else if op = op_nor then Gate.Nor
+  else if op = op_xor then Gate.Xor
+  else if op = op_xnor then Gate.Xnor
+  else invalid_arg "Compiled.kind_of_opcode"
+
+type t = {
+  circuit : Circuit.t;
+  n : int;
+  opcode : int array;
+  fanin_off : int array;
+  fanin : int array;
+  fanout_off : int array;
+  fanout : int array;
+  topo : int array;
+  eval_order : int array;
+  levels : int array;
+  max_level : int;
+  level_population : int array;
+}
+
+let of_circuit c =
+  let nodes = Circuit.nodes c in
+  let n = Array.length nodes in
+  let opcode = Array.make n 0 in
+  let fanin_off = Array.make (n + 1) 0 in
+  let fanout_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let nd = nodes.(i) in
+    opcode.(i) <- opcode_of_kind nd.Circuit.kind;
+    fanin_off.(i + 1) <- fanin_off.(i) + Array.length nd.Circuit.fanins;
+    fanout_off.(i + 1) <- fanout_off.(i) + Array.length nd.Circuit.fanouts
+  done;
+  let fanin = Array.make fanin_off.(n) 0 in
+  let fanout = Array.make fanout_off.(n) 0 in
+  for i = 0 to n - 1 do
+    let nd = nodes.(i) in
+    Array.iteri (fun p f -> fanin.(fanin_off.(i) + p) <- f) nd.Circuit.fanins;
+    Array.iteri (fun p s -> fanout.(fanout_off.(i) + p) <- s) nd.Circuit.fanouts
+  done;
+  let topo = Array.copy (Circuit.topo_order c) in
+  let levels = Array.init n (Circuit.level c) in
+  let max_level = Array.fold_left max 0 levels in
+  let level_population = Array.make (max_level + 1) 0 in
+  let n_eval = ref 0 in
+  Array.iter
+    (fun id ->
+      if opcode.(id) > op_dff then begin
+        incr n_eval;
+        level_population.(levels.(id)) <- level_population.(levels.(id)) + 1
+      end)
+    topo;
+  let eval_order = Array.make !n_eval 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun id ->
+      if opcode.(id) > op_dff then begin
+        eval_order.(!pos) <- id;
+        incr pos
+      end)
+    topo;
+  {
+    circuit = c;
+    n;
+    opcode;
+    fanin_off;
+    fanin;
+    fanout_off;
+    fanout;
+    topo;
+    eval_order;
+    levels;
+    max_level;
+    level_population;
+  }
+
+let circuit t = t.circuit
+let node_count t = t.n
+let opcode t = t.opcode
+let fanin_off t = t.fanin_off
+let fanin t = t.fanin
+let fanout_off t = t.fanout_off
+let fanout t = t.fanout
+let topo t = t.topo
+let eval_order t = t.eval_order
+let levels t = t.levels
+let max_level t = t.max_level
+let level_population t = t.level_population
+let is_source t id = t.opcode.(id) <= op_dff
+let is_logic t id = t.opcode.(id) >= op_buf
+
+(* Tail-recursive folds over a CSR fanin slice: no closures, no
+   intermediate arrays. *)
+
+let rec all_true (v : bool array) (fa : int array) i hi =
+  i >= hi || (v.(fa.(i)) && all_true v fa (i + 1) hi)
+
+let rec any_true (v : bool array) (fa : int array) i hi =
+  i < hi && (v.(fa.(i)) || any_true v fa (i + 1) hi)
+
+let rec parity (v : bool array) (fa : int array) i hi acc =
+  if i >= hi then acc else parity v fa (i + 1) hi (acc <> v.(fa.(i)))
+
+let eval_bool t (values : bool array) id =
+  let lo = t.fanin_off.(id) and hi = t.fanin_off.(id + 1) in
+  let fa = t.fanin in
+  let op = t.opcode.(id) in
+  if op = op_and then all_true values fa lo hi
+  else if op = op_nand then not (all_true values fa lo hi)
+  else if op = op_or then any_true values fa lo hi
+  else if op = op_nor then not (any_true values fa lo hi)
+  else if op = op_not then not values.(fa.(lo))
+  else if op = op_buf || op = op_output then values.(fa.(lo))
+  else if op = op_xor then parity values fa lo hi false
+  else if op = op_xnor then not (parity values fa lo hi false)
+  else invalid_arg "Compiled.eval_bool: source node"
+
+let rec fold_and64 (w : int64 array) (fa : int array) i hi acc =
+  if i >= hi then acc
+  else fold_and64 w fa (i + 1) hi (Int64.logand acc w.(fa.(i)))
+
+let rec fold_or64 (w : int64 array) (fa : int array) i hi acc =
+  if i >= hi then acc
+  else fold_or64 w fa (i + 1) hi (Int64.logor acc w.(fa.(i)))
+
+let rec fold_xor64 (w : int64 array) (fa : int array) i hi acc =
+  if i >= hi then acc
+  else fold_xor64 w fa (i + 1) hi (Int64.logxor acc w.(fa.(i)))
+
+let eval_word t (words : int64 array) id =
+  let lo = t.fanin_off.(id) and hi = t.fanin_off.(id + 1) in
+  let fa = t.fanin in
+  let op = t.opcode.(id) in
+  (* 2-input gates dominate a mapped netlist; evaluating them
+     straight-line keeps the int64s unboxed (the recursive folds box
+     their accumulator argument on every call) *)
+  if hi - lo = 2 && op >= op_and then begin
+    if op = op_and then Int64.logand words.(fa.(lo)) words.(fa.(lo + 1))
+    else if op = op_nand then
+      Int64.lognot (Int64.logand words.(fa.(lo)) words.(fa.(lo + 1)))
+    else if op = op_or then Int64.logor words.(fa.(lo)) words.(fa.(lo + 1))
+    else if op = op_nor then
+      Int64.lognot (Int64.logor words.(fa.(lo)) words.(fa.(lo + 1)))
+    else if op = op_xor then Int64.logxor words.(fa.(lo)) words.(fa.(lo + 1))
+    else Int64.lognot (Int64.logxor words.(fa.(lo)) words.(fa.(lo + 1)))
+  end
+  else if op = op_and then fold_and64 words fa lo hi Int64.minus_one
+  else if op = op_nand then Int64.lognot (fold_and64 words fa lo hi Int64.minus_one)
+  else if op = op_or then fold_or64 words fa lo hi 0L
+  else if op = op_nor then Int64.lognot (fold_or64 words fa lo hi 0L)
+  else if op = op_not then Int64.lognot words.(fa.(lo))
+  else if op = op_buf || op = op_output then words.(fa.(lo))
+  else if op = op_xor then fold_xor64 words fa lo hi 0L
+  else if op = op_xnor then Int64.lognot (fold_xor64 words fa lo hi 0L)
+  else invalid_arg "Compiled.eval_word: source node"
+
+let eval_words t (words : int64 array) =
+  let eo = t.eval_order in
+  for k = 0 to Array.length eo - 1 do
+    let id = eo.(k) in
+    words.(id) <- eval_word t words id
+  done

@@ -1,0 +1,96 @@
+(** Flat compiled form of a circuit for hot simulation loops.
+
+    {!Circuit.t} stores one heap object per node with its own fanin and
+    fanout arrays — convenient for construction and transformation, but
+    every simulator inner loop then chases two pointers per edge and is
+    tempted into per-evaluation allocation ([Array.map] over fanins).
+    [Compiled.t] is the read-only answer: one shared CSR fanin array
+    (plus per-node offsets), the same for fanouts, integer gate opcodes,
+    and the precomputed topological order and levels, all in flat [int]
+    arrays. Simulators index, never allocate.
+
+    The compiled form is a snapshot: {!Circuit.permute_fanins} on the
+    source circuit is not reflected — recompile after structural edits
+    (every simulation session compiles its own snapshot, so the normal
+    flow never observes staleness). *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+(** One pass over the nodes; O(nodes + edges). *)
+
+val circuit : t -> Circuit.t
+val node_count : t -> int
+
+(** {1 Opcodes}
+
+    Dense integer encoding of {!Gate.kind} so inner loops can match on
+    an immediate instead of a constructor load. Sources are the two
+    smallest opcodes, so [opcode <= op_dff] is the source test. *)
+
+val op_input : int
+val op_dff : int
+val op_output : int
+val op_buf : int
+val op_not : int
+val op_and : int
+val op_nand : int
+val op_or : int
+val op_nor : int
+val op_xor : int
+val op_xnor : int
+
+val opcode_of_kind : Gate.kind -> int
+val kind_of_opcode : int -> Gate.kind
+
+val is_source : t -> int -> bool
+val is_logic : t -> int -> bool
+
+(** {1 Flat arrays}
+
+    All accessors return the internal arrays — aliased, do not mutate.
+    Hot loops should hoist them out of the loop once. *)
+
+val opcode : t -> int array
+(** Per node id. *)
+
+val fanin_off : t -> int array
+(** Length [node_count + 1]; fanins of node [i] are
+    [fanin.(fanin_off.(i)) .. fanin.(fanin_off.(i+1) - 1)], in the same
+    pin order as [Circuit.node.fanins]. *)
+
+val fanin : t -> int array
+
+val fanout_off : t -> int array
+val fanout : t -> int array
+
+val topo : t -> int array
+(** Combinational topological order (sources first), as
+    {!Circuit.topo_order}. *)
+
+val eval_order : t -> int array
+(** [topo] restricted to non-source nodes: exactly the nodes a
+    combinational sweep must evaluate, in evaluation order. *)
+
+val levels : t -> int array
+val max_level : t -> int
+
+val level_population : t -> int array
+(** [level_population.(l)] = number of non-source nodes at level [l]
+    (index 0 .. [max_level]); sizes exact per-level event buckets. *)
+
+(** {1 Allocation-free evaluation} *)
+
+val eval_bool : t -> bool array -> int -> bool
+(** Two-valued evaluation of one non-source node from a node-indexed
+    value array. No heap allocation.
+    @raise Invalid_argument on a source node. *)
+
+val eval_word : t -> int64 array -> int -> int64
+(** Bit-parallel evaluation of one non-source node over 64 lanes
+    (lane [l] of a node is bit [l] of its word).
+    @raise Invalid_argument on a source node. *)
+
+val eval_words : t -> int64 array -> unit
+(** [eval_word] over every node of [eval_order], in place: one full
+    64-lane combinational sweep. *)

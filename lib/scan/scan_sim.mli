@@ -40,6 +40,19 @@ val traditional : policy
 
 val enhanced_scan : policy
 
+type engine =
+  | Scalar
+      (** Event-driven replay of every cycle ({!Sim.Event_sim}): the
+          golden reference implementation. *)
+  | Packed
+      (** 64 consecutive scan cycles per 64-bit word
+          ({!Sim.Packed_sim}): per-cycle toggles are recovered by
+          popcounting lane-to-lane XORs and leakage is updated only at
+          the lanes where a gate's input state changed.  Produces
+          bit-identical toggle counts, per-cycle series, dynamic power
+          and responses; the static-power figures agree up to float
+          accumulation order. *)
+
 type result = {
   cycles : int;  (** total clock cycles simulated *)
   shift_cycles : int;
@@ -55,6 +68,7 @@ type result = {
 }
 
 val measure :
+  ?engine:engine ->
   ?init_state:bool array ->
   Circuit.t ->
   Scan_chain.t ->
@@ -63,11 +77,12 @@ val measure :
   result
 (** [vectors] are fully-specified source assignments (positional over
     [Circuit.sources]): the PI part is applied at capture, the state
-    part is shifted in.
+    part is shifted in.  [engine] defaults to [Packed].
     @raise Invalid_argument on malformed vectors, forced non-dff nodes
     or an unmapped circuit. *)
 
 val responses :
+  ?engine:engine ->
   ?init_state:bool array ->
   Circuit.t ->
   Scan_chain.t ->

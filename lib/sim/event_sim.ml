@@ -1,29 +1,49 @@
 open Netlist
 
 type t = {
+  comp : Compiled.t;
   circuit : Circuit.t;
   values : bool array;
   toggles : int array;
   mutable total : int;
-  mutable changed : int list; (* nodes toggled by the last change set *)
-  (* level-bucketed pending queue *)
-  buckets : int list array;
+  (* nodes toggled by the last change set, as a reused stack *)
+  changed : int array;
+  mutable n_changed : int;
+  (* level-bucketed pending queue: one exact-capacity int stack per
+     level, so scheduling an event is two stores — no cons cells *)
+  bucket : int array array;
+  bucket_len : int array;
   pending : bool array;
+  opcode : int array;
+  levels : int array;
+  fanout_off : int array;
+  fanout : int array;
 }
 
 let create c =
+  let comp = Compiled.of_circuit c in
   let n = Circuit.node_count c in
+  let depth = Compiled.max_level comp in
+  let pop = Compiled.level_population comp in
   {
+    comp;
     circuit = c;
     values = Array.make n false;
     toggles = Array.make n 0;
     total = 0;
-    changed = [];
-    buckets = Array.make (Circuit.depth c + 1) [];
+    changed = Array.make n 0;
+    n_changed = 0;
+    bucket = Array.init (depth + 1) (fun l -> Array.make pop.(l) 0);
+    bucket_len = Array.make (depth + 1) 0;
     pending = Array.make n false;
+    opcode = Compiled.opcode comp;
+    levels = Compiled.levels comp;
+    fanout_off = Compiled.fanout_off comp;
+    fanout = Compiled.fanout comp;
   }
 
 let circuit t = t.circuit
+let compiled t = t.comp
 let values t = t.values
 let toggle_counts t = t.toggles
 let total_toggles t = t.total
@@ -32,75 +52,78 @@ let reset_counts t =
   Array.fill t.toggles 0 (Array.length t.toggles) 0;
   t.total <- 0
 
-let eval_node t nd =
-  let vs = Array.map (fun f -> t.values.(f)) nd.Circuit.fanins in
-  Gate.eval_bool nd.Circuit.kind vs
-
 let init t sources =
-  let c = t.circuit in
   Array.iter
     (fun id ->
-      let nd = Circuit.node c id in
-      if Gate.is_source nd.kind then t.values.(id) <- sources id
-      else t.values.(id) <- eval_node t nd)
-    (Circuit.topo_order c);
+      if t.opcode.(id) <= Compiled.op_dff then t.values.(id) <- sources id
+      else t.values.(id) <- Compiled.eval_bool t.comp t.values id)
+    (Compiled.topo t.comp);
   reset_counts t
 
 (* Flip-flops read combinational nodes through their D fanin, so they
    appear in fanout lists; they must not be re-evaluated by the
    combinational event loop (their value only changes at a capture). *)
 let schedule t id =
-  if
-    (not t.pending.(id))
-    && not (Gate.is_source (Circuit.node t.circuit id).Circuit.kind)
-  then begin
+  if (not t.pending.(id)) && t.opcode.(id) > Compiled.op_dff then begin
     t.pending.(id) <- true;
-    let lvl = Circuit.level t.circuit id in
-    t.buckets.(lvl) <- id :: t.buckets.(lvl)
+    let lvl = t.levels.(id) in
+    t.bucket.(lvl).(t.bucket_len.(lvl)) <- id;
+    t.bucket_len.(lvl) <- t.bucket_len.(lvl) + 1
   end
 
 let record_toggle t id =
   t.toggles.(id) <- t.toggles.(id) + 1;
   t.total <- t.total + 1;
-  t.changed <- id :: t.changed
+  t.changed.(t.n_changed) <- id;
+  t.n_changed <- t.n_changed + 1
 
-let last_changes t = t.changed
+(* Most-recently-toggled first: the order the change list had when it
+   was a consed list, kept so float accumulation downstream (incremental
+   leakage) reproduces the reference run bit for bit. *)
+let iter_last_changes t f =
+  for i = t.n_changed - 1 downto 0 do
+    f t.changed.(i)
+  done
+
+let touch t id =
+  let lo = t.fanout_off.(id) and hi = t.fanout_off.(id + 1) in
+  for i = lo to hi - 1 do
+    schedule t t.fanout.(i)
+  done
 
 let set_sources t changes =
-  let c = t.circuit in
-  t.changed <- [];
+  t.n_changed <- 0;
   let caused = ref 0 in
-  let touch id =
-    Array.iter (fun succ -> schedule t succ) (Circuit.node c id).Circuit.fanouts
-  in
   List.iter
     (fun (id, v) ->
-      let nd = Circuit.node c id in
-      if not (Gate.is_source nd.kind) then
+      if t.opcode.(id) > Compiled.op_dff then
         invalid_arg "Event_sim.set_sources: not a source node";
       if t.values.(id) <> v then begin
         t.values.(id) <- v;
         record_toggle t id;
         incr caused;
-        touch id
+        touch t id
       end)
     changes;
   (* Drain buckets in level order; a node is evaluated at most once per
-     change set because levels only increase along fanout edges. *)
-  for lvl = 1 to Array.length t.buckets - 1 do
-    let ids = t.buckets.(lvl) in
-    t.buckets.(lvl) <- [];
-    List.iter
-      (fun id ->
-        t.pending.(id) <- false;
-        let nd = Circuit.node c id in
-        let v = eval_node t nd in
-        if v <> t.values.(id) then begin
-          t.values.(id) <- v;
-          record_toggle t id;
-          incr caused;
-          touch id
-        end)
-      ids
+     change set because levels only increase along fanout edges. Each
+     bucket drains newest-first (the consed-list order of the original
+     implementation) so downstream float accumulation is reproduced
+     exactly. *)
+  for lvl = 1 to Array.length t.bucket - 1 do
+    let len = t.bucket_len.(lvl) in
+    t.bucket_len.(lvl) <- 0;
+    let b = t.bucket.(lvl) in
+    for i = len - 1 downto 0 do
+      let id = b.(i) in
+      t.pending.(id) <- false;
+      let v = Compiled.eval_bool t.comp t.values id in
+      if v <> t.values.(id) then begin
+        t.values.(id) <- v;
+        record_toggle t id;
+        incr caused;
+        touch t id
+      end
+    done
   done;
   !caused

@@ -12,8 +12,13 @@ open Netlist
 type t
 
 val create : Circuit.t -> t
+(** Compiles the circuit (see {!Netlist.Compiled}) — structural edits
+    to [c] after [create] are not observed by this simulator. *)
 
 val circuit : t -> Circuit.t
+
+val compiled : t -> Compiled.t
+(** The flat form this simulator runs on. *)
 
 val values : t -> bool array
 (** Current value of every node (aliased, do not mutate). *)
@@ -28,9 +33,10 @@ val set_sources : t -> (int * bool) list -> int
     per-node counters and returns the number of toggles caused.
     @raise Invalid_argument if a node is not a source. *)
 
-val last_changes : t -> int list
-(** Node ids toggled by the most recent [set_sources] call (any order);
-    lets power accounting update incrementally. *)
+val iter_last_changes : t -> (int -> unit) -> unit
+(** Iterate the node ids toggled by the most recent [set_sources] call
+    (any order, no allocation); lets power accounting update
+    incrementally. *)
 
 val toggle_counts : t -> int array
 (** Accumulated toggles per node id since the last [init]/[reset_counts]

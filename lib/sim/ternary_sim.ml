@@ -4,14 +4,43 @@ type values = Logic.t array
 
 let make_values c v = Array.make (Circuit.node_count c) v
 
+(* Tail-recursive folds over the fanin index array: the hot loop of
+   every three-valued evaluation allocates nothing (the old
+   [Array.map] built a fresh fanin-value array per gate). Arities were
+   validated at circuit construction. *)
+
+let rec fold_and (values : values) (fanins : int array) i n acc =
+  if i >= n then acc
+  else fold_and values fanins (i + 1) n (Logic.( &&& ) acc values.(fanins.(i)))
+
+let rec fold_or (values : values) (fanins : int array) i n acc =
+  if i >= n then acc
+  else fold_or values fanins (i + 1) n (Logic.( ||| ) acc values.(fanins.(i)))
+
+let rec fold_xor (values : values) (fanins : int array) i n acc =
+  if i >= n then acc
+  else fold_xor values fanins (i + 1) n (Logic.xor acc values.(fanins.(i)))
+
+let eval_node c (values : values) id =
+  let nd = Circuit.node c id in
+  let fanins = nd.fanins in
+  let n = Array.length fanins in
+  match nd.kind with
+  | Gate.Input | Gate.Dff -> invalid_arg "Ternary_sim.eval_node: source node"
+  | Gate.Output | Gate.Buf -> values.(fanins.(0))
+  | Gate.Not -> Logic.lnot values.(fanins.(0))
+  | Gate.And -> fold_and values fanins 0 n Logic.One
+  | Gate.Nand -> Logic.lnot (fold_and values fanins 0 n Logic.One)
+  | Gate.Or -> fold_or values fanins 0 n Logic.Zero
+  | Gate.Nor -> Logic.lnot (fold_or values fanins 0 n Logic.Zero)
+  | Gate.Xor -> fold_xor values fanins 0 n Logic.Zero
+  | Gate.Xnor -> Logic.lnot (fold_xor values fanins 0 n Logic.Zero)
+
 let propagate c values =
   Array.iter
     (fun id ->
-      let nd = Circuit.node c id in
-      if not (Gate.is_source nd.kind) then begin
-        let vs = Array.map (fun f -> values.(f)) nd.fanins in
-        values.(id) <- Gate.eval nd.kind vs
-      end)
+      if not (Gate.is_source (Circuit.node c id).kind) then
+        values.(id) <- eval_node c values id)
     (Circuit.topo_order c)
 
 let eval c ~inputs ~state =

@@ -9,6 +9,7 @@ type event = {
 type t = {
   timing : Analysis.t;
   circuit : Circuit.t;
+  comp : Compiled.t;
   values : bool array;
   transitions : int array;
   mutable total : int;
@@ -26,6 +27,7 @@ let create timing =
   {
     timing;
     circuit = c;
+    comp = Compiled.of_circuit c;
     values = Array.make n false;
     transitions = Array.make n 0;
     total = 0;
@@ -42,17 +44,16 @@ let reset_counts t =
   Array.fill t.transitions 0 (Array.length t.transitions) 0;
   t.total <- 0
 
-let eval_node t id =
-  let nd = Circuit.node t.circuit id in
-  Gate.eval_bool nd.kind (Array.map (fun f -> t.values.(f)) nd.fanins)
+(* Allocation-free re-evaluation through the compiled CSR form (the
+   old path built a fresh fanin-value array per event). *)
+let eval_node t id = Compiled.eval_bool t.comp t.values id
 
 let init t sources =
   Array.iter
     (fun id ->
-      let nd = Circuit.node t.circuit id in
-      if Gate.is_source nd.kind then t.values.(id) <- sources id
-      else t.values.(id) <- eval_node t nd.id)
-    (Circuit.topo_order t.circuit);
+      if Compiled.is_source t.comp id then t.values.(id) <- sources id
+      else t.values.(id) <- eval_node t id)
+    (Compiled.topo t.comp);
   Util.Heap.clear t.queue;
   reset_counts t
 
@@ -72,22 +73,26 @@ let record t id =
    is exactly the glitch being counted. *)
 let apply t changes =
   let caused = ref 0 in
+  let fanout_off = Compiled.fanout_off t.comp in
+  let fanout = Compiled.fanout t.comp in
+  let notify id base_time =
+    for i = fanout_off.(id) to fanout_off.(id + 1) - 1 do
+      let succ = fanout.(i) in
+      if not (Compiled.is_source t.comp succ) then
+        schedule t ~time:(base_time +. Analysis.gate_delay t.timing succ) succ
+    done
+  in
   let change id v =
     if t.values.(id) <> v then begin
       t.values.(id) <- v;
       record t id;
       incr caused;
-      Array.iter
-        (fun succ ->
-          let snd_ = Circuit.node t.circuit succ in
-          if not (Gate.is_source snd_.Circuit.kind) then
-            schedule t ~time:(Analysis.gate_delay t.timing succ) succ)
-        (Circuit.node t.circuit id).Circuit.fanouts
+      notify id 0.0
     end
   in
   List.iter
     (fun (id, v) ->
-      if not (Gate.is_source (Circuit.node t.circuit id).Circuit.kind) then
+      if not (Compiled.is_source t.comp id) then
         invalid_arg "Glitch_sim.apply: not a source node";
       change id v)
     changes;
@@ -101,14 +106,7 @@ let apply t changes =
         t.values.(ev.target) <- v;
         record t ev.target;
         incr caused;
-        Array.iter
-          (fun succ ->
-            let snd_ = Circuit.node t.circuit succ in
-            if not (Gate.is_source snd_.Circuit.kind) then
-              schedule t
-                ~time:(ev.time +. Analysis.gate_delay t.timing succ)
-                succ)
-          (Circuit.node t.circuit ev.target).Circuit.fanouts
+        notify ev.target ev.time
       end;
       drain ()
     end

@@ -9,6 +9,7 @@ let () =
       ("techlib", Test_techlib.suite);
       ("techmap", Test_techmap.suite);
       ("sim", Test_sim.suite);
+      ("packed-sim", Test_packed_sim.suite);
       ("sta", Test_sta.suite);
       ("power", Test_power.suite);
       ("observability", Test_observability.suite);
