@@ -459,9 +459,12 @@ let ablation_atpg_engines () =
 
 (* Wall-clock per kernel on the Table I shift loop: circuit compile,
    packed 64-lane shift simulation, scalar event-driven reference, and
-   64-way fault simulation. Cross-checks that both scan engines return
-   identical toggle counts, and writes the numbers (and the
-   packed/scalar speedup) to BENCH_kernels.json. *)
+   64-way fault simulation with both engines (critical path tracing
+   and the full-cone reference). Cross-checks that both scan engines
+   return identical toggle counts and both fault-sim engines identical
+   per-fault detections, and writes the numbers (plus packed/scalar
+   and cpt/cone speedups and stem-event throughput) to
+   BENCH_kernels.json. *)
 
 let kernel_circuits =
   if fast then [ "s344"; "s1196" ] else [ "s344"; "s1196"; "s5378"; "s9234" ]
@@ -511,14 +514,47 @@ let kernels () =
         <> scalar.Scan.Scan_sim.per_cycle_toggles
       then failwith (name ^ ": packed/scalar per-cycle toggle mismatch");
       let faults = Atpg.Fault.collapsed_faults c in
-      let (detected, _), fault_s =
-        time (fun () -> Atpg.Fault_simulation.split c ~faults ~vectors)
+      (* both fault-sim engines on persistent machines: the cone
+         reference and the critical-path-tracing engine must agree
+         fault for fault, and the stem-event throughput is counted via
+         telemetry (enabled just for the timed cpt run) *)
+      let m_cone = Atpg.Fault_simulation.make ~engine:Atpg.Fault_simulation.Cone c in
+      let m_cpt = Atpg.Fault_simulation.make ~engine:Atpg.Fault_simulation.Cpt c in
+      let (cone_detected, _), fault_cone_s =
+        time (fun () ->
+            Atpg.Fault_simulation.split ~machine:m_cone c ~faults ~vectors)
+      in
+      let was_enabled = Telemetry.enabled () in
+      Telemetry.enable ();
+      let events0 =
+        match Telemetry.Counter.find "atpg.fault_sim.stem_events" with
+        | Some v -> v
+        | None -> 0
+      in
+      let (cpt_detected, _), fault_cpt_s =
+        time (fun () ->
+            Atpg.Fault_simulation.split ~machine:m_cpt c ~faults ~vectors)
+      in
+      let events1 =
+        match Telemetry.Counter.find "atpg.fault_sim.stem_events" with
+        | Some v -> v
+        | None -> 0
+      in
+      if not was_enabled then Telemetry.disable ();
+      if cone_detected <> cpt_detected then
+        failwith (name ^ ": cone/cpt fault-sim detection mismatch");
+      let detected = cpt_detected in
+      let fault_speedup = fault_cone_s /. Float.max 1e-9 fault_cpt_s in
+      let fault_events_s =
+        float_of_int (events1 - events0) /. Float.max 1e-9 fault_cpt_s
       in
       let speedup = scalar_s /. Float.max 1e-9 packed_s in
       Format.printf
         "%-8s compile %7.4fs | shift sim: packed %8.4fs vs scalar %8.4fs \
-         (%5.1fx) | fault sim %7.3fs (%d/%d detected)@."
-        name compile_s packed_s scalar_s speedup fault_s (List.length detected)
+         (%5.1fx) | fault sim: cpt %7.3fs vs cone %7.3fs (%5.1fx, %.2e ev/s, \
+         %d/%d detected)@."
+        name compile_s packed_s scalar_s speedup fault_cpt_s fault_cone_s
+        fault_speedup fault_events_s (List.length detected)
         (List.length faults);
       kernels_json :=
         ( name,
@@ -534,12 +570,36 @@ let kernels () =
               ("packed_shift_s", Telemetry.Json.Float packed_s);
               ("scalar_shift_s", Telemetry.Json.Float scalar_s);
               ("packed_speedup", Telemetry.Json.Float speedup);
-              ("fault_sim_s", Telemetry.Json.Float fault_s);
+              ("fault_sim_s", Telemetry.Json.Float fault_cpt_s);
+              ("fault_sim_cone_s", Telemetry.Json.Float fault_cone_s);
+              ("fault_sim_cpt_s", Telemetry.Json.Float fault_cpt_s);
+              ("fault_sim_speedup", Telemetry.Json.Float fault_speedup);
+              ("fault_sim_events_s", Telemetry.Json.Float fault_events_s);
               ("faults", Telemetry.Json.Int (List.length faults));
               ("faults_detected", Telemetry.Json.Int (List.length detected));
             ] )
         :: !kernels_json)
     kernel_circuits;
+  (* per-fault detection equality over the rest of Table I too, not
+     just the timed subset (untimed, so kept out of the JSON) *)
+  List.iter
+    (fun name ->
+      let c = Circuits.by_name name in
+      let vectors = Atpg.Pattern_gen.random_vectors ~seed:7 ~count:20 c in
+      let faults = Atpg.Fault.collapsed_faults c in
+      let check engine =
+        fst
+          (Atpg.Fault_simulation.split
+             ~machine:(Atpg.Fault_simulation.make ~engine c)
+             c ~faults ~vectors)
+      in
+      let cone = check Atpg.Fault_simulation.Cone in
+      let cpt = check Atpg.Fault_simulation.Cpt in
+      if cone <> cpt then
+        failwith (name ^ ": cone/cpt fault-sim detection mismatch");
+      Format.printf "%-8s engines agree (%d/%d detected)@." name
+        (List.length cpt) (List.length faults))
+    (List.filter (fun n -> not (List.mem n kernel_circuits)) table1_circuits);
   let doc =
     Telemetry.Json.Obj
       [

@@ -192,10 +192,10 @@ let observability_cmd =
 (* ---- atpg ---- *)
 
 let atpg_cmd =
-  let run spec seed out tele =
+  let run spec seed fault_engine out tele =
     let* metrics_out = tele in
     let* c = mapped spec in
-    let config = { Atpg.Pattern_gen.default_config with seed } in
+    let config = { Atpg.Pattern_gen.default_config with seed; fault_engine } in
     let outcome = Atpg.Pattern_gen.generate ~config c in
     Format.printf "%a@." Atpg.Pattern_gen.pp_outcome outcome;
     (match out with
@@ -217,9 +217,27 @@ let atpg_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Write the test vectors to a file.")
   in
+  let fault_engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("cpt", Atpg.Fault_simulation.Cpt);
+               ("cone", Atpg.Fault_simulation.Cone);
+             ])
+          Atpg.Fault_simulation.Cpt
+      & info [ "fault-engine" ]
+          ~doc:
+            "Fault-simulation engine: $(b,cpt) (critical path tracing, \
+             default) or $(b,cone) (full-cone reference). Both are \
+             bit-identical; cone is the slow golden reference.")
+  in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a compacted stuck-at test set (PODEM).")
-    Term.(term_result (const run $ circuit_arg $ seed_arg $ out $ telemetry_term))
+    Term.(
+      term_result
+        (const run $ circuit_arg $ seed_arg $ fault_engine $ out $ telemetry_term))
 
 (* ---- power ---- *)
 

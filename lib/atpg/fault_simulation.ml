@@ -4,8 +4,17 @@ let word_bits = 64
 
 let m_batches = Telemetry.Counter.make "atpg.fault_sim.batches"
 let m_words = Telemetry.Counter.make "atpg.fault_sim.detection_words"
+let m_ffr_traces = Telemetry.Counter.make "atpg.fault_sim.ffr_traces"
+let m_stem_events = Telemetry.Counter.make "atpg.fault_sim.stem_events"
+let m_early_exits = Telemetry.Counter.make "atpg.fault_sim.early_exits"
+let m_dominator_hits = Telemetry.Counter.make "atpg.fault_sim.dominator_hits"
+
+type engine =
+  | Cone  (** full-cone resimulation per fault: the golden reference *)
+  | Cpt  (** FFR critical-path tracing + event-driven stem propagation *)
 
 type machine = {
+  engine : engine;
   comp : Compiled.t;
   good : int64 array; (* node id -> packed good values *)
   observables : int array;
@@ -20,6 +29,17 @@ type machine = {
   cone_mark : int array;
   mutable cone_stamp : int;
   cone_buf : int array;
+  (* Cpt engine state, all validated against [batch] (bumped by every
+     [load_good]) so nothing is cleared between batches *)
+  mutable batch : int;
+  obs_w : int64 array; (* stem/dominator -> patterns where a flip is observed *)
+  obs_stamp : int array;
+  sens : int64 array; (* in-FFR line -> patterns sensitized to the stem *)
+  sens_stamp : int array;
+  sched : int array; (* per-propagation scheduled marker *)
+  buckets : int array array; (* per-level event queues *)
+  bucket_len : int array;
+  path_buf : int array; (* FFR climb scratch *)
 }
 
 let observables c =
@@ -29,10 +49,12 @@ let observables c =
   in
   Array.of_list (Array.to_list (Circuit.outputs c) @ dpins)
 
-let make c =
+let make ?(engine = Cpt) c =
   let n = Circuit.node_count c in
+  let comp = Compiled.of_circuit c in
   {
-    comp = Compiled.of_circuit c;
+    engine;
+    comp;
     good = Array.make n 0L;
     observables = observables c;
     cones = Array.make n None;
@@ -42,12 +64,26 @@ let make c =
     cone_mark = Array.make n 0;
     cone_stamp = 0;
     cone_buf = Array.make n 0;
+    batch = 0;
+    obs_w = Array.make n 0L;
+    obs_stamp = Array.make n 0;
+    sens = Array.make n 0L;
+    sens_stamp = Array.make n 0;
+    sched = Array.make n 0;
+    buckets = Array.map (fun p -> Array.make p 0) (Compiled.level_population comp);
+    bucket_len = Array.make (Compiled.max_level comp + 1) 0;
+    path_buf = Array.make n 0;
   }
+
+let with_machine ?engine c f = f (make ?engine c)
+let engine m = m.engine
+let circuit m = Compiled.circuit m.comp
 
 (* Pack up to 64 vectors (positional over sources) into the good
    machine and simulate; returns the valid-pattern mask. *)
 let load_good m vectors =
   Telemetry.Counter.inc m_batches;
+  m.batch <- m.batch + 1;
   let c = Compiled.circuit m.comp in
   let srcs = Circuit.sources c in
   let count = List.length vectors in
@@ -145,10 +181,10 @@ let eval_faulty m stamp id ov_pin ov_word =
     Int64.lognot (fold_xor_sel m stamp fa lo hi ov_pin ov_word 0L)
   else invalid_arg "Fault_simulation: source eval"
 
-(* Detection word of one fault against the loaded good machine: bit i
-   set iff valid pattern i detects the fault. *)
-let fault_detection_word m mask (f : Fault.t) =
-  Telemetry.Counter.inc m_words;
+(* Full-cone reference: resimulate the fault's entire output cone and
+   XOR at the observables. Bit i of the result is set iff valid
+   pattern i detects the fault. *)
+let fault_detection_word_cone m mask (f : Fault.t) =
   let site = Fault.site_node f in
   let cone_nodes = cone m site in
   let stuck_word = if f.Fault.stuck then Int64.minus_one else 0L in
@@ -187,6 +223,187 @@ let fault_detection_word m mask (f : Fault.t) =
     m.observables;
   Int64.logand !det mask
 
+(* Evaluate gate [g] with the single node [nnode] flipped against the
+   good machine: a fresh stamp means [sel] reads good values for every
+   other fanin, so no scratch needs clearing. *)
+let[@inline] eval_flip m g nnode =
+  m.stamp <- m.stamp + 1;
+  m.faulty.(nnode) <- Int64.lognot m.good.(nnode);
+  m.faulty_stamp.(nnode) <- m.stamp;
+  eval_faulty m m.stamp g (-1) 0L
+
+(* Patterns on which a value flip at [site] reaches the stem of its
+   fanout-free region. Inside an FFR every node has exactly one path
+   to the stem, so lane-wise single-path sensitization composes
+   exactly: sens(site) = sens(fanout) AND (flipping [site] flips the
+   fanout's output). One climb memoizes the whole chain for the rest
+   of the batch, which is what makes critical path tracing cheaper
+   than cone resimulation — faults on the same FFR chain share it. *)
+let sensitivity m site =
+  let ffr_stem = Compiled.ffr_stem m.comp in
+  let stem = ffr_stem.(site) in
+  if site = stem then Int64.minus_one
+  else if m.sens_stamp.(site) = m.batch then m.sens.(site)
+  else begin
+    Telemetry.Counter.inc m_ffr_traces;
+    let fanout_off = Compiled.fanout_off m.comp in
+    let fanout = Compiled.fanout m.comp in
+    let buf = m.path_buf in
+    let len = ref 0 in
+    let cur = ref site in
+    while !cur <> stem && m.sens_stamp.(!cur) <> m.batch do
+      buf.(!len) <- !cur;
+      incr len;
+      cur := fanout.(fanout_off.(!cur))
+    done;
+    let acc = ref (if !cur = stem then Int64.minus_one else m.sens.(!cur)) in
+    for i = !len - 1 downto 0 do
+      let nd = buf.(i) in
+      let g = fanout.(fanout_off.(nd)) in
+      let local = Int64.logxor (eval_flip m g nd) m.good.(g) in
+      acc := Int64.logand !acc local;
+      m.sens.(nd) <- !acc;
+      m.sens_stamp.(nd) <- m.batch
+    done;
+    m.sens.(site)
+  end
+
+exception Resolved
+
+(* Patterns on which a value flip at [start] (a stem or dominator) is
+   observed: event-driven forward propagation of the 64-pattern
+   difference word through level-ordered buckets. Early exits: when
+   every pending difference word has gone to zero, and when the event
+   frontier collapses to a single node — necessarily a propagation
+   dominator of [start] — whose own observability word finishes the
+   job (recursively; per-batch memoized, so deep dominator chains are
+   resolved once and shared by every stem behind them). Events on
+   nodes that cannot reach an observable are never scheduled, which
+   both prunes work and keeps the frontier-collapse test sound. *)
+let rec obs_of m start =
+  if m.obs_stamp.(start) = m.batch then m.obs_w.(start)
+  else begin
+    let levels = Compiled.levels m.comp in
+    let fanout_off = Compiled.fanout_off m.comp in
+    let fanout = Compiled.fanout m.comp in
+    let opcode = Compiled.opcode m.comp in
+    let observable = Compiled.observable m.comp in
+    let reaches = Compiled.reaches_observable m.comp in
+    let max_level = Compiled.max_level m.comp in
+    m.stamp <- m.stamp + 1;
+    let stamp = m.stamp in
+    for l = 0 to max_level do
+      m.bucket_len.(l) <- 0
+    done;
+    m.faulty.(start) <- Int64.lognot m.good.(start);
+    m.faulty_stamp.(start) <- stamp;
+    let det = ref (if observable.(start) then Int64.minus_one else 0L) in
+    let pending = ref 0 in
+    let schedule id =
+      if m.sched.(id) <> stamp then begin
+        m.sched.(id) <- stamp;
+        let l = levels.(id) in
+        m.buckets.(l).(m.bucket_len.(l)) <- id;
+        m.bucket_len.(l) <- m.bucket_len.(l) + 1;
+        incr pending
+      end
+    in
+    for i = fanout_off.(start) to fanout_off.(start + 1) - 1 do
+      let succ = fanout.(i) in
+      if opcode.(succ) <> Compiled.op_dff && reaches.(succ) then schedule succ
+    done;
+    (try
+       for l = levels.(start) + 1 to max_level do
+         let bucket = m.buckets.(l) in
+         for k = 0 to m.bucket_len.(l) - 1 do
+           let id = bucket.(k) in
+           decr pending;
+           Telemetry.Counter.inc m_stem_events;
+           let w = eval_faulty m stamp id (-1) 0L in
+           m.faulty.(id) <- w;
+           m.faulty_stamp.(id) <- stamp;
+           let d = Int64.logxor w m.good.(id) in
+           if d = 0L then begin
+             if !pending = 0 then begin
+               Telemetry.Counter.inc m_early_exits;
+               raise_notrace Resolved
+             end
+           end
+           else begin
+             if observable.(id) then det := Int64.logor !det d;
+             let lo = fanout_off.(id) and hi = fanout_off.(id + 1) in
+             let has_succ = ref false in
+             for i = lo to hi - 1 do
+               let succ = fanout.(i) in
+               if opcode.(succ) <> Compiled.op_dff && reaches.(succ) then
+                 has_succ := true
+             done;
+             if !has_succ then
+               if !pending = 0 then begin
+                 (* the frontier collapsed onto [id]: every live lane's
+                    difference is exactly [d], so [id]'s own (memoized)
+                    observability finishes the propagation *)
+                 if m.obs_stamp.(id) = m.batch then
+                   Telemetry.Counter.inc m_dominator_hits;
+                 det := Int64.logor !det (Int64.logand d (obs_of m id));
+                 raise_notrace Resolved
+               end
+               else
+                 for i = lo to hi - 1 do
+                   let succ = fanout.(i) in
+                   if opcode.(succ) <> Compiled.op_dff && reaches.(succ) then
+                     schedule succ
+                 done
+           end
+         done
+       done
+     with Resolved -> ());
+    m.obs_w.(start) <- !det;
+    m.obs_stamp.(start) <- m.batch;
+    !det
+  end
+
+(* Critical-path-tracing detection: activation at the site, times
+   sensitization to the FFR stem, times the stem's observability. For
+   a pin fault the activation and pin-local sensitization collapse
+   into one overridden evaluation of the gate (its output differs from
+   good exactly on patterns where the stuck pin both differs from the
+   driver and flips the gate). *)
+let fault_detection_word_cpt m mask (f : Fault.t) =
+  let ffr_stem = Compiled.ffr_stem m.comp in
+  let reaches = Compiled.reaches_observable m.comp in
+  let stuck_word = if f.Fault.stuck then Int64.minus_one else 0L in
+  let det =
+    match f.Fault.site with
+    | Fault.Output_line id ->
+      if not reaches.(id) then 0L
+      else
+        let act = Int64.logxor m.good.(id) stuck_word in
+        if act = 0L then 0L
+        else
+          let s = Int64.logand act (sensitivity m id) in
+          if s = 0L then 0L else Int64.logand s (obs_of m ffr_stem.(id))
+    | Fault.Input_pin (gid, pin) ->
+      if not reaches.(gid) then 0L
+      else begin
+        let fanin_off = Compiled.fanin_off m.comp in
+        m.stamp <- m.stamp + 1;
+        let w = eval_faulty m m.stamp gid (fanin_off.(gid) + pin) stuck_word in
+        let d = Int64.logxor w m.good.(gid) in
+        if d = 0L then 0L
+        else
+          let s = Int64.logand d (sensitivity m gid) in
+          if s = 0L then 0L else Int64.logand s (obs_of m ffr_stem.(gid))
+      end
+  in
+  Int64.logand det mask
+
+let fault_detection_word m mask f =
+  Telemetry.Counter.inc m_words;
+  match m.engine with
+  | Cone -> fault_detection_word_cone m mask f
+  | Cpt -> fault_detection_word_cpt m mask f
+
 let fault_detected m mask f = fault_detection_word m mask f <> 0L
 
 let rec batches n = function
@@ -200,10 +417,22 @@ let rec batches n = function
     let batch, rest = take n [] vectors in
     batch :: batches n rest
 
-let split c ~faults ~vectors =
+(* Callers that already hold a machine pass it through; the circuit
+   must be the very value the machine was compiled from (the compiled
+   form is a snapshot, so a physically different circuit — even a
+   structurally equal one — would silently desynchronise). *)
+let resolve_machine ?machine c =
+  match machine with
+  | None -> make c
+  | Some m ->
+    if Compiled.circuit m.comp != c then
+      invalid_arg "Fault_simulation: machine compiled from a different circuit";
+    m
+
+let split ?machine c ~faults ~vectors =
   if vectors = [] then ([], faults)
   else begin
-    let m = make c in
+    let m = resolve_machine ?machine c in
     let remaining = ref faults in
     let detected = ref [] in
     List.iter
@@ -220,14 +449,14 @@ let split c ~faults ~vectors =
     (List.rev !detected, !remaining)
   end
 
-let coverage c ~faults ~vectors =
+let coverage ?machine c ~faults ~vectors =
   match faults with
   | [] -> 1.0
   | _ ->
-    let detected, _ = split c ~faults ~vectors in
+    let detected, _ = split ?machine c ~faults ~vectors in
     float_of_int (List.length detected) /. float_of_int (List.length faults)
 
-let effective_subset c ~faults ~vectors =
+let effective_subset ?machine c ~faults ~vectors =
   (* Reverse-order static compaction. The serial walk (simulate one
      vector, drop detected faults, repeat) is quadratic; instead the
      full fault x vector detection matrix is computed with 64-way
@@ -238,7 +467,7 @@ let effective_subset c ~faults ~vectors =
   let n_vec = Array.length vec_arr in
   if n_vec = 0 then []
   else begin
-    let m = make c in
+    let m = resolve_machine ?machine c in
     let n_words = (n_vec + word_bits - 1) / word_bits in
     let flist = Array.of_list faults in
     let detection = Array.make_matrix (Array.length flist) n_words 0L in

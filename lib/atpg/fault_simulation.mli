@@ -1,26 +1,69 @@
 (** 64-way pattern-parallel stuck-at fault simulation.
 
-    Patterns are packed into 64-bit words; each fault is re-simulated
-    only inside its structural fanout cone and compared against the
+    Patterns are packed into 64-bit words and compared against the
     good machine at the observable lines (primary outputs and
-    flip-flop D pins). *)
+    flip-flop D pins). Two engines share the machine:
+
+    - {!Cpt} (default): critical path tracing inside each fanout-free
+      region composes activation and sensitization up to the FFR stem
+      lane-wise, then propagates the stem's 64-pattern difference word
+      event-driven through per-level buckets, exiting as soon as the
+      difference dies or the event frontier collapses onto a
+      propagation dominator whose observability is already memoized
+      for the batch. Exact: bit-identical to the reference.
+    - {!Cone}: the full-cone-per-fault reference — re-simulate the
+      fault's entire structural output cone and XOR at observables.
+
+    All entry points accept an optional persistent {!machine} so a
+    caller running many rounds over one circuit (ATPG phases, sweeps)
+    pays for compilation, cone interning, and FFR/dominator tables
+    once. *)
 
 open Netlist
 
+type engine =
+  | Cone  (** full-cone resimulation per fault: the golden reference *)
+  | Cpt  (** FFR critical-path tracing + event-driven stem propagation *)
+
+type machine
+(** Persistent per-circuit simulation state: the compiled CSR form,
+    packed good values, interned fanout cones, and the stamped scratch
+    both engines evaluate against. Reusable across any number of
+    vector batches; not thread-safe. *)
+
+val make : ?engine:engine -> Circuit.t -> machine
+(** Compile [c] and allocate all scratch. [engine] defaults to
+    {!Cpt}. *)
+
+val with_machine : ?engine:engine -> Circuit.t -> (machine -> 'a) -> 'a
+(** [with_machine c f] applies [f] to a fresh machine for [c]. *)
+
+val engine : machine -> engine
+val circuit : machine -> Circuit.t
+
 val split :
+  ?machine:machine ->
   Circuit.t ->
   faults:Fault.t list ->
   vectors:bool array list ->
   Fault.t list * Fault.t list
 (** [(detected, undetected)] partition of the fault list under the
     fully-specified source vectors (positional over
-    [Circuit.sources]). *)
+    [Circuit.sources]). When [machine] is given it must have been made
+    from this very [Circuit.t] value (physical equality — the compiled
+    form is a snapshot); otherwise a fresh machine is built.
+    @raise Invalid_argument on a machine/circuit mismatch. *)
 
 val coverage :
-  Circuit.t -> faults:Fault.t list -> vectors:bool array list -> float
+  ?machine:machine ->
+  Circuit.t ->
+  faults:Fault.t list ->
+  vectors:bool array list ->
+  float
 (** Fraction of the fault list detected. *)
 
 val effective_subset :
+  ?machine:machine ->
   Circuit.t ->
   faults:Fault.t list ->
   vectors:bool array list ->

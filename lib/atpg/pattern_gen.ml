@@ -9,6 +9,7 @@ type config = {
   scoap_guide : bool;
   merge : bool;
   reverse_compact : bool;
+  fault_engine : Fault_simulation.engine;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     scoap_guide = true;
     merge = true;
     reverse_compact = true;
+    fault_engine = Fault_simulation.Cpt;
   }
 
 let m_vectors = Telemetry.Counter.make "atpg.pattern_gen.vectors"
@@ -45,7 +47,13 @@ let generate ?(config = default_config) c =
   let total_faults = List.length faults in
   let rng = Util.Rng.create config.seed in
   let n_sources = Array.length (Circuit.sources c) in
-  let kept = ref [] in
+  (* one machine for all three phases: compiled arrays, cones, and
+     FFR/dominator tables are built once per circuit *)
+  let machine = Fault_simulation.make ~engine:config.fault_engine c in
+  (* reverse accumulation: appending each batch with [@] walks the
+     whole prefix again (quadratic over the run); prepend reversed and
+     un-reverse once at the end, preserving the exact order *)
+  let kept_rev = ref [] in
   let remaining = ref faults in
   (* Phase 1: random vectors with fault dropping; a batch only survives
      if it detects something new. *)
@@ -60,7 +68,7 @@ let generate ?(config = default_config) c =
         incr batch_no;
         let batch = List.init 64 (fun _ -> Util.Rng.bool_array rng n_sources) in
         let detected, undet =
-          Fault_simulation.split c ~faults:!remaining ~vectors:batch
+          Fault_simulation.split ~machine c ~faults:!remaining ~vectors:batch
         in
         if detected = [] then incr stale
         else begin
@@ -68,9 +76,10 @@ let generate ?(config = default_config) c =
           remaining := undet;
           (* keep only the vectors of the batch that matter *)
           let useful =
-            Fault_simulation.effective_subset c ~faults:detected ~vectors:batch
+            Fault_simulation.effective_subset ~machine c ~faults:detected
+              ~vectors:batch
           in
-          kept := !kept @ useful
+          kept_rev := List.rev_append useful !kept_rev
         end
       done);
   (* Phase 2: PODEM per remaining fault, processed in chunks so that
@@ -111,23 +120,37 @@ let generate ?(config = default_config) c =
       let vectors = List.map (Compaction.fill_random rng) cubes in
       (* the generated vectors also drop faults queued behind them *)
       let _, undet =
-        Fault_simulation.split c ~faults:(rest @ !processed) ~vectors
+        Fault_simulation.split ~machine c ~faults:(rest @ !processed) ~vectors
       in
       (* faults whose cube was generated but that escaped detection
-         after filling are counted as aborted rather than retried *)
-      let escaped = List.filter (fun f -> List.memq f !processed) undet in
-      aborted := !aborted + List.length escaped;
-      remaining := List.filter (fun f -> not (List.memq f escaped)) undet;
-      kept := !kept @ vectors;
+         after filling are counted as aborted rather than retried.
+         Collapsed faults are structurally distinct values, so a
+         hashtable keyed on the fault itself matches [List.memq]
+         membership without the quadratic rescans. *)
+      let processed_tbl = Hashtbl.create 97 in
+      List.iter (fun f -> Hashtbl.replace processed_tbl f ()) !processed;
+      let n_escaped = ref 0 in
+      remaining :=
+        List.filter
+          (fun f ->
+            if Hashtbl.mem processed_tbl f then begin
+              incr n_escaped;
+              false
+            end
+            else true)
+          undet;
+      aborted := !aborted + !n_escaped;
+      kept_rev := List.rev_append vectors !kept_rev;
       deterministic ()
   in
   Telemetry.Span.with_ ~name:"atpg.podem_phase" deterministic;
   (* Phase 3: reverse-order static compaction over the whole set. *)
+  let kept = List.rev !kept_rev in
   let vectors =
     Telemetry.Span.with_ ~name:"atpg.compact_phase" (fun () ->
         if config.reverse_compact then
-          Fault_simulation.effective_subset c ~faults ~vectors:!kept
-        else !kept)
+          Fault_simulation.effective_subset ~machine c ~faults ~vectors:kept
+        else kept)
   in
   let skipped = List.length !remaining in
   let detected_total =

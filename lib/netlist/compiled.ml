@@ -50,7 +50,99 @@ type t = {
   levels : int array;
   max_level : int;
   level_population : int array;
+  (* structural preprocessing for fault propagation: observables,
+     fanout-free regions and propagation dominators (all with respect
+     to the combinational core — DFF nodes never propagate) *)
+  observable : bool array;
+  reaches_observable : bool array;
+  ffr_stem : int array;
+  stems : int array;
+  idom : int array;
+  idom_depth : int array;
 }
+
+(* A fault effect is observed at primary-output marker nodes and at
+   flip-flop D pins (the fanin of every DFF node). *)
+let compute_observable n opcode fanin_off fanin =
+  let observable = Array.make n false in
+  for id = 0 to n - 1 do
+    if opcode.(id) = op_output then observable.(id) <- true
+    else if opcode.(id) = op_dff then observable.(fanin.(fanin_off.(id))) <- true
+  done;
+  observable
+
+(* Fanout-free regions: walk single-fanout chains to the first node
+   with zero or several fanout edges (the fanout array carries one
+   entry per fanin edge, so a node feeding two pins of one gate counts
+   as two edges and is a stem), or whose unique consumer is a DFF (the
+   effect is observed at the D pin and never propagates through it).
+   Processing in reverse topological order sees every consumer before
+   its producers. *)
+let compute_ffr n opcode fanout_off fanout topo =
+  let ffr_stem = Array.make n (-1) in
+  for k = n - 1 downto 0 do
+    let id = topo.(k) in
+    let lo = fanout_off.(id) and hi = fanout_off.(id + 1) in
+    if hi - lo <> 1 then ffr_stem.(id) <- id
+    else begin
+      let succ = fanout.(lo) in
+      if opcode.(succ) = op_dff then ffr_stem.(id) <- id
+      else ffr_stem.(id) <- ffr_stem.(succ)
+    end
+  done;
+  let n_stems = ref 0 in
+  Array.iteri (fun id s -> if s = id then incr n_stems) ffr_stem;
+  let stems = Array.make !n_stems 0 in
+  let pos = ref 0 in
+  for id = 0 to n - 1 do
+    if ffr_stem.(id) = id then begin
+      stems.(!pos) <- id;
+      incr pos
+    end
+  done;
+  (ffr_stem, stems)
+
+(* Immediate dominators of the propagation DAG: [idom.(id)] is the one
+   node every path from [id] to an observable passes through first
+   (beyond [id] itself). Observation itself is modelled as a virtual
+   exit node with id [n]: [idom.(id) = n] means the effect fans out
+   irreconvergently (or [id] is itself observable), [-1] means no
+   observable is reachable at all. Computed in reverse topological
+   order as the nearest common ancestor, in the growing dominator
+   tree, of all propagating successors. *)
+let compute_idom n opcode fanout_off fanout topo observable =
+  let exit_id = n in
+  let reaches = Array.make n false in
+  let idom = Array.make (n + 1) (-1) in
+  let depth = Array.make (n + 1) 0 in
+  idom.(exit_id) <- exit_id;
+  let rec nca a b =
+    if a = b then a
+    else if depth.(a) >= depth.(b) then nca idom.(a) b
+    else nca a idom.(b)
+  in
+  for k = n - 1 downto 0 do
+    let id = topo.(k) in
+    if observable.(id) then begin
+      reaches.(id) <- true;
+      idom.(id) <- exit_id;
+      depth.(id) <- 1
+    end
+    else begin
+      let d = ref (-1) in
+      for i = fanout_off.(id) to fanout_off.(id + 1) - 1 do
+        let succ = fanout.(i) in
+        if opcode.(succ) <> op_dff && reaches.(succ) then
+          d := if !d = -1 then succ else nca !d succ
+      done;
+      if !d >= 0 then begin
+        reaches.(id) <- true;
+        idom.(id) <- !d;
+        depth.(id) <- depth.(!d) + 1
+      end
+    end
+  done;
+  (reaches, idom, depth)
 
 let of_circuit c =
   let nodes = Circuit.nodes c in
@@ -92,6 +184,11 @@ let of_circuit c =
         incr pos
       end)
     topo;
+  let observable = compute_observable n opcode fanin_off fanin in
+  let ffr_stem, stems = compute_ffr n opcode fanout_off fanout topo in
+  let reaches_observable, idom, idom_depth =
+    compute_idom n opcode fanout_off fanout topo observable
+  in
   {
     circuit = c;
     n;
@@ -105,6 +202,12 @@ let of_circuit c =
     levels;
     max_level;
     level_population;
+    observable;
+    reaches_observable;
+    ffr_stem;
+    stems;
+    idom;
+    idom_depth;
   }
 
 let circuit t = t.circuit
@@ -121,6 +224,13 @@ let max_level t = t.max_level
 let level_population t = t.level_population
 let is_source t id = t.opcode.(id) <= op_dff
 let is_logic t id = t.opcode.(id) >= op_buf
+let observable t = t.observable
+let reaches_observable t = t.reaches_observable
+let ffr_stem t = t.ffr_stem
+let stems t = t.stems
+let idom t = t.idom
+let idom_depth t = t.idom_depth
+let exit_id t = t.n
 
 (* Tail-recursive folds over a CSR fanin slice: no closures, no
    intermediate arrays. *)

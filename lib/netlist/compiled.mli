@@ -79,6 +79,48 @@ val level_population : t -> int array
 (** [level_population.(l)] = number of non-source nodes at level [l]
     (index 0 .. [max_level]); sizes exact per-level event buckets. *)
 
+(** {1 Structural fault-propagation preprocessing}
+
+    All with respect to the combinational core: a DFF node never
+    propagates (its D pin is where an effect is observed), so the
+    propagation DAG is the fanout graph minus edges into DFFs. *)
+
+val observable : t -> bool array
+(** [observable.(id)] iff a value change on node [id] is directly
+    observed: primary-output marker nodes and flip-flop D-pin
+    drivers. *)
+
+val reaches_observable : t -> bool array
+(** [reaches_observable.(id)] iff [id] is observable or some
+    propagation path from [id] ends at an observable; events on other
+    nodes can never contribute to detection. *)
+
+val ffr_stem : t -> int array
+(** [ffr_stem.(id)] is the stem of the fanout-free region containing
+    [id]: the first node on the single-fanout chain from [id] with
+    zero or several fanout edges, or whose unique consumer is a DFF.
+    Stems map to themselves. Inside an FFR every node has exactly one
+    path to the stem, so single-fault sensitization composes exactly
+    (critical path tracing is exact within an FFR). *)
+
+val stems : t -> int array
+(** The stem nodes (fixpoints of [ffr_stem]), in id order. *)
+
+val idom : t -> int array
+(** Immediate propagation dominator: [idom.(id)] is the unique first
+    node beyond [id] that every propagation path from [id] to an
+    observable passes through. [exit_id t] (a virtual exit) means the
+    paths reconverge only at observation (or [id] is itself
+    observable); [-1] means no observable is reachable. Length
+    [node_count + 1]: the exit maps to itself. *)
+
+val idom_depth : t -> int array
+(** Depth of each node in the dominator tree (exit = 0); exposes the
+    nearest-common-ancestor order for tests and diagnostics. *)
+
+val exit_id : t -> int
+(** The virtual exit node id used by [idom] (= [node_count]). *)
+
 (** {1 Allocation-free evaluation} *)
 
 val eval_bool : t -> bool array -> int -> bool

@@ -1,0 +1,300 @@
+(* Fault-simulation engines: the critical-path-tracing engine (FFR
+   sensitization + event-driven stem propagation, the default) must
+   reproduce the full-cone reference exactly, fault by fault; the
+   structural preprocessing behind it (FFR stems, propagation
+   dominators, observability reachability) is checked against
+   brute-force definitions; and effective_subset against the naive
+   serial reverse-compaction walk it replaces. *)
+
+open Netlist
+module Fs = Atpg.Fault_simulation
+
+let s27m = lazy (Techmap.Mapper.map (Circuits.s27 ()))
+let s344 = lazy (Circuits.by_name "s344")
+let s1196 = lazy (Circuits.by_name "s1196")
+
+let fault_t c =
+  Alcotest.testable
+    (fun fmt f -> Format.pp_print_string fmt (Atpg.Fault.to_string c f))
+    Atpg.Fault.equal
+
+let random_vectors rng c n =
+  let len = Array.length (Circuit.sources c) in
+  List.init n (fun _ -> Array.init len (fun _ -> Util.Rng.bool rng))
+
+(* ---------- structural preprocessing ---------- *)
+
+(* Propagation successors: fanout edges minus edges into DFFs (a fault
+   effect is observed at the D pin, never shifted onward here). *)
+let prop_succs c id =
+  (Circuit.node c id).Circuit.fanouts |> Array.to_list
+  |> List.filter (fun s ->
+         not (Gate.equal_kind (Circuit.node c s).Circuit.kind Gate.Dff))
+
+let observable_ref c id =
+  let nd = Circuit.node c id in
+  Gate.equal_kind nd.Circuit.kind Gate.Output
+  || Array.exists
+       (fun d -> (Circuit.node c d).Circuit.fanins.(0) = id)
+       (Circuit.dffs c)
+
+(* Can [id] reach an observable with node [removed] deleted? *)
+let can_reach_obs c ~removed id =
+  let n = Circuit.node_count c in
+  let seen = Array.make n false in
+  let rec go id =
+    id <> removed && (not seen.(id))
+    && begin
+         seen.(id) <- true;
+         observable_ref c id || List.exists go (prop_succs c id)
+       end
+  in
+  go id
+
+let check_preprocessing_on c =
+  let comp = Compiled.of_circuit c in
+  let n = Circuit.node_count c in
+  let observable = Compiled.observable comp in
+  let reaches = Compiled.reaches_observable comp in
+  let ffr_stem = Compiled.ffr_stem comp in
+  let stems = Compiled.stems comp in
+  let idom = Compiled.idom comp in
+  let exit_id = Compiled.exit_id comp in
+  for id = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "observable %d" id)
+      (observable_ref c id) observable.(id);
+    Alcotest.(check bool)
+      (Printf.sprintf "reaches %d" id)
+      (can_reach_obs c ~removed:(-1) id)
+      reaches.(id)
+  done;
+  (* a stem maps to itself iff it has fanout-edge-count <> 1 or its
+     unique consumer is a DFF; every other node's chain of unique
+     fanout edges hits exactly [ffr_stem.(id)] as the first stem *)
+  for id = 0 to n - 1 do
+    let rec walk cur =
+      let fo = (Circuit.node c cur).Circuit.fanouts in
+      if
+        Array.length fo <> 1
+        || Gate.equal_kind (Circuit.node c fo.(0)).Circuit.kind Gate.Dff
+      then cur
+      else walk fo.(0)
+    in
+    Alcotest.(check int) (Printf.sprintf "ffr_stem %d" id) (walk id) ffr_stem.(id)
+  done;
+  Array.iter
+    (fun s -> Alcotest.(check int) "stem fixpoint" s ffr_stem.(s))
+    stems;
+  (* brute-force immediate dominators: the strict dominator set of a
+     reaching node (every node whose removal disconnects it from all
+     observables, plus the virtual exit) must satisfy the chain
+     property S(id) = {idom(id)} U S(idom(id)) *)
+  let strict_doms id =
+    let ds = ref [ exit_id ] in
+    for d = n - 1 downto 0 do
+      if d <> id && reaches.(d) && not (can_reach_obs c ~removed:d id) then
+        ds := d :: !ds
+    done;
+    !ds
+  in
+  let dom_sets = Array.make (n + 1) [] in
+  dom_sets.(exit_id) <- [];
+  for id = 0 to n - 1 do
+    if reaches.(id) then dom_sets.(id) <- strict_doms id
+  done;
+  for id = 0 to n - 1 do
+    if not reaches.(id) then
+      Alcotest.(check int) (Printf.sprintf "dead idom %d" id) (-1) idom.(id)
+    else begin
+      let d = idom.(id) in
+      Alcotest.(check bool)
+        (Printf.sprintf "idom %d is a dominator" id)
+        true
+        (List.mem d dom_sets.(id));
+      Alcotest.(check (list int))
+        (Printf.sprintf "dominator chain at %d" id)
+        (List.sort compare dom_sets.(id))
+        (List.sort compare
+           (if d = exit_id then [ exit_id ] else d :: dom_sets.(d)))
+    end
+  done
+
+let check_preprocessing () =
+  check_preprocessing_on (Lazy.force s27m);
+  List.iter
+    (fun seed ->
+      check_preprocessing_on
+        (Circuits.generate
+           {
+             Circuits.name = Printf.sprintf "pre%d" seed;
+             n_pi = 4;
+             n_po = 2;
+             n_ff = 3;
+             n_gates = 40;
+             seed;
+           }))
+    [ 1; 2; 3 ]
+
+(* ---------- engine equivalence ---------- *)
+
+let check_split_agrees tag c ~seed ~n_vectors =
+  let faults = Atpg.Fault.collapsed_faults c in
+  let rng = Util.Rng.create seed in
+  let vectors = random_vectors rng c n_vectors in
+  let m_cone = Fs.make ~engine:Fs.Cone c in
+  let m_cpt = Fs.make ~engine:Fs.Cpt c in
+  let det_cone, undet_cone =
+    Fs.split ~machine:m_cone c ~faults ~vectors
+  in
+  let det_cpt, undet_cpt = Fs.split ~machine:m_cpt c ~faults ~vectors in
+  Alcotest.(check (list (fault_t c)))
+    (tag ^ " detected identical") det_cone det_cpt;
+  Alcotest.(check (list (fault_t c)))
+    (tag ^ " undetected identical") undet_cone undet_cpt;
+  (* same machines again on a different vector set: persistent state
+     (memos, stamps, interned cones) must not leak across runs *)
+  let vectors2 = random_vectors rng c (max 1 (n_vectors / 2)) in
+  let d1, _ = Fs.split ~machine:m_cone c ~faults ~vectors:vectors2 in
+  let d2, _ = Fs.split ~machine:m_cpt c ~faults ~vectors:vectors2 in
+  let d3, _ = Fs.split c ~faults ~vectors:vectors2 in
+  Alcotest.(check (list (fault_t c))) (tag ^ " reuse cone") d1 d2;
+  Alcotest.(check (list (fault_t c))) (tag ^ " reuse vs fresh") d1 d3;
+  (* effective_subset bit-identical across engines *)
+  let e_cone = Fs.effective_subset ~machine:m_cone c ~faults ~vectors in
+  let e_cpt = Fs.effective_subset ~machine:m_cpt c ~faults ~vectors in
+  Alcotest.(check (list (array bool)))
+    (tag ^ " effective_subset identical") e_cone e_cpt;
+  Alcotest.(check bool)
+    (tag ^ " coverage identical") true
+    (Fs.coverage ~machine:m_cone c ~faults ~vectors
+    = Fs.coverage ~machine:m_cpt c ~faults ~vectors)
+
+let check_golden_s27 () =
+  check_split_agrees "s27/seed1" (Lazy.force s27m) ~seed:1 ~n_vectors:80;
+  check_split_agrees "s27/seed2" (Lazy.force s27m) ~seed:2 ~n_vectors:5
+
+let check_golden_s344 () =
+  check_split_agrees "s344/seed3" (Lazy.force s344) ~seed:3 ~n_vectors:70;
+  check_split_agrees "s344/seed4" (Lazy.force s344) ~seed:4 ~n_vectors:20
+
+let check_golden_s1196 () =
+  check_split_agrees "s1196/seed5" (Lazy.force s1196) ~seed:5 ~n_vectors:40
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"cpt engine equals cone engine" ~count:15
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 0 10000) (int_range 1 70) (int_range 10 80)))
+    (fun (seed, n_vectors, n_gates) ->
+      let c =
+        Circuits.generate
+          {
+            Circuits.name = Printf.sprintf "fprop%d" seed;
+            n_pi = 3 + (seed mod 4);
+            n_po = 2;
+            n_ff = 2 + (seed mod 5);
+            n_gates;
+            seed;
+          }
+      in
+      check_split_agrees (Printf.sprintf "fprop%d" seed) c ~seed ~n_vectors;
+      true)
+
+(* ---------- effective_subset vs the naive serial walk ---------- *)
+
+let naive_reverse_compaction c ~faults ~vectors =
+  (* one vector at a time, last to first, with fault dropping — the
+     textbook (quadratic) formulation effective_subset vectorises *)
+  let m = Fs.make ~engine:Fs.Cone c in
+  let covered = Hashtbl.create 97 in
+  let keep = ref [] in
+  List.iter
+    (fun v ->
+      let live = List.filter (fun f -> not (Hashtbl.mem covered f)) faults in
+      let det, _ = Fs.split ~machine:m c ~faults:live ~vectors:[ v ] in
+      if det <> [] then begin
+        List.iter (fun f -> Hashtbl.replace covered f ()) det;
+        keep := v :: !keep
+      end)
+    (List.rev vectors);
+  !keep
+
+let check_effective_subset_is_naive () =
+  List.iter
+    (fun (c, seed, n_vectors) ->
+      let faults = Atpg.Fault.collapsed_faults c in
+      let rng = Util.Rng.create seed in
+      let vectors = random_vectors rng c n_vectors in
+      let expected = naive_reverse_compaction c ~faults ~vectors in
+      List.iter
+        (fun engine ->
+          let got =
+            Fs.effective_subset ~machine:(Fs.make ~engine c) c ~faults ~vectors
+          in
+          Alcotest.(check (list (array bool))) "naive reverse walk" expected got)
+        [ Fs.Cone; Fs.Cpt ])
+    [ (Lazy.force s27m, 11, 90); (Lazy.force s344, 12, 30) ]
+
+(* ---------- machine API ---------- *)
+
+let check_machine_mismatch_raises () =
+  let c = Lazy.force s27m in
+  let other = Circuit.copy c in
+  let m = Fs.make c in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let vectors = random_vectors (Util.Rng.create 1) c 3 in
+  Alcotest.check_raises "structurally equal is not enough"
+    (Invalid_argument "Fault_simulation: machine compiled from a different circuit")
+    (fun () -> ignore (Fs.split ~machine:m other ~faults ~vectors))
+
+let check_with_machine () =
+  let c = Lazy.force s27m in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let vectors = random_vectors (Util.Rng.create 2) c 10 in
+  let d1 =
+    Fs.with_machine c (fun m ->
+        Alcotest.(check bool) "default engine is cpt" true (Fs.engine m = Fs.Cpt);
+        Alcotest.(check bool) "circuit accessor" true (Fs.circuit m == c);
+        fst (Fs.split ~machine:m c ~faults ~vectors))
+  in
+  let d2, _ = Fs.split c ~faults ~vectors in
+  Alcotest.(check (list (fault_t c))) "with_machine equals fresh" d1 d2
+
+(* ---------- telemetry counters ---------- *)
+
+let check_counters () =
+  let c = Lazy.force s344 in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let vectors = random_vectors (Util.Rng.create 9) c 64 in
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let get name = Option.value ~default:0 (Telemetry.Counter.find name) in
+  ignore (Fs.split ~machine:(Fs.make ~engine:Fs.Cpt c) c ~faults ~vectors);
+  let traces = get "atpg.fault_sim.ffr_traces" in
+  let events = get "atpg.fault_sim.stem_events" in
+  let exits = get "atpg.fault_sim.early_exits" in
+  ignore (Fs.split ~machine:(Fs.make ~engine:Fs.Cone c) c ~faults ~vectors);
+  let events_after_cone = get "atpg.fault_sim.stem_events" in
+  Telemetry.reset ();
+  if not was_enabled then Telemetry.disable ();
+  Alcotest.(check bool) "ffr traces counted" true (traces > 0);
+  Alcotest.(check bool) "stem events counted" true (events > 0);
+  Alcotest.(check bool) "early exits counted" true (exits > 0);
+  Alcotest.(check int) "cone engine emits no stem events" events events_after_cone
+
+let suite =
+  [
+    Alcotest.test_case "structural preprocessing vs brute force" `Quick
+      check_preprocessing;
+    Alcotest.test_case "golden equivalence s27" `Quick check_golden_s27;
+    Alcotest.test_case "golden equivalence s344" `Quick check_golden_s344;
+    Alcotest.test_case "golden equivalence s1196" `Quick check_golden_s1196;
+    Alcotest.test_case "effective_subset equals naive walk" `Quick
+      check_effective_subset_is_naive;
+    Alcotest.test_case "machine circuit mismatch" `Quick
+      check_machine_mismatch_raises;
+    Alcotest.test_case "with_machine" `Quick check_with_machine;
+    Alcotest.test_case "engine counters" `Quick check_counters;
+    QCheck_alcotest.to_alcotest prop_engines_agree;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("power", Test_power.suite);
       ("observability", Test_observability.suite);
       ("atpg", Test_atpg.suite);
+      ("fault-sim", Test_fault_sim.suite);
       ("scan", Test_scan.suite);
       ("mux-insertion", Test_mux_insertion.suite);
       ("tns", Test_tns.suite);
