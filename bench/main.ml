@@ -88,7 +88,7 @@ let table1 () =
         (if from_cache then "cached"
          else Printf.sprintf "done in %5.1fs" duration_s);
       Format.pp_print_flush Format.std_formatter ()
-    | Runner.Finished { job; outcome = Runner.Failed { attempts; last } } ->
+    | Runner.Finished { job; outcome = Runner.Failed { attempts; last; _ } } ->
       Format.printf "%-16s FAILED after %d attempt(s): %s@." job.Runner.id
         attempts
         (Runner.failure_to_string last)

@@ -8,21 +8,22 @@
    with telemetry forced on and prints the phase tree. *)
 
 open Cmdliner
+module E = Scanpower_errors
 
 let ( let* ) = Result.bind
 
+(* Parse/validation/IO failures propagate as [E.Error] and are mapped
+   to their documented exit codes at the bottom of this file; only an
+   unknown circuit name is raised here (a usage error, exit 2). *)
 let load_circuit spec =
   if List.mem spec Circuits.names then Ok (Circuits.by_name spec)
-  else if Sys.file_exists spec then
-    match Netlist.Bench_parser.parse_file spec with
-    | c -> Ok c
-    | exception e ->
-      Error
-        (`Msg (Printf.sprintf "cannot parse %s: %s" spec (Printexc.to_string e)))
+  else if Sys.file_exists spec then Ok (Netlist.Bench_parser.parse_file spec)
   else
     match Circuits.find spec with
     | Ok c -> Ok c
-    | Error msg -> Error (`Msg (msg ^ "; or pass a path to a .bench file"))
+    | Error msg ->
+      E.raise_error ~code:E.Usage ~stage:"cli"
+        (msg ^ "; or pass a path to a .bench file")
 
 let mapped spec =
   let* c = load_circuit spec in
@@ -332,7 +333,10 @@ let export_cmd =
         Netlist.Dot_writer.to_string ~highlight:(Sta.critical_path t) m
       | "verilog" -> Netlist.Verilog_writer.to_string c
       | "bench" -> Netlist.Bench_writer.to_string c
-      | other -> failwith (Printf.sprintf "unknown format %S" other)
+      | other ->
+        (* unreachable through the enum converter, but keeps the error
+           in-band if another caller ever bypasses it *)
+        E.errorf ~code:E.Usage ~stage:"cli.export" "unknown format %S" other
     in
     (match out with
     | None -> print_string text
@@ -437,10 +441,64 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Reproduce rows of the paper's Table I.")
     Term.(term_result (const run $ names $ seed_arg $ telemetry_term))
 
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let run specs =
+    let specs = if specs = [] then Circuits.names else specs in
+    let total_errors = ref 0 in
+    List.iter
+      (fun spec ->
+        let text, file =
+          if List.mem spec Circuits.names then
+            (Netlist.Bench_writer.to_string (Circuits.by_name spec), None)
+          else if Sys.file_exists spec then (
+            ( (try In_channel.with_open_bin spec In_channel.input_all
+               with Sys_error msg ->
+                 E.raise_error ~code:E.Io ~stage:"cli.validate" msg),
+              Some spec ))
+          else
+            E.raise_error ~code:E.Usage ~stage:"cli.validate"
+              (Printf.sprintf
+                 "unknown circuit %S: not a built-in benchmark or a file" spec)
+        in
+        match Netlist.Bench_parser.lint ?file text with
+        | [] -> Format.printf "%-20s ok@." spec
+        | diags ->
+          let errs = Netlist.Validate.errors diags in
+          total_errors := !total_errors + List.length errs;
+          List.iter
+            (fun d ->
+              Format.printf "%-20s %s@." spec (Netlist.Validate.to_string d))
+            diags)
+      specs;
+    if !total_errors > 0 then
+      E.errorf ~code:E.Validation ~stage:"cli.validate"
+        "%d lint error(s) across %d circuit(s)" !total_errors
+        (List.length specs)
+    else Ok ()
+  in
+  let specs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CIRCUIT"
+          ~doc:
+            "Circuits to lint: built-in benchmark names or .bench files \
+             (default: every built-in benchmark).")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Lint a netlist: syntax, undriven/multiply-driven nets, \
+          combinational loops, dangling fanout, arity. Prints every \
+          diagnostic (not just the first) and exits 3 if any are errors.")
+    Term.(term_result (const run $ specs))
+
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run names jobs seeds timeout retries no_cache cache_dir out csv tele =
+  let run names jobs seeds timeout retries backoff deadline no_cache cache_dir
+      journal resume out csv tele =
     let* metrics_out = tele in
     let names = if names = [] then Circuits.names else names in
     let* circuits =
@@ -485,17 +543,20 @@ let sweep_cmd =
                  (if attempts > 1 then
                     Printf.sprintf " (attempt %d)" attempts
                   else ""))
-        | Runner.Failed { attempts; last } ->
-          Format.printf "[%2d/%d] %-20s FAILED after %d attempt%s: %s@."
-            !finished total job.Runner.id attempts
+        | Runner.Failed { attempts; last; quarantined } ->
+          Format.printf "[%2d/%d] %-20s %s after %d attempt%s: %s@."
+            !finished total job.Runner.id
+            (if quarantined then "QUARANTINED" else "FAILED")
+            attempts
             (if attempts = 1 then "" else "s")
             (Runner.failure_to_string last));
         Format.pp_print_flush Format.std_formatter ()
     in
     let t0 = Unix.gettimeofday () in
     let report =
-      Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries ?cache ~on_event
-        points
+      Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries ~backoff_s:backoff
+        ~deadline_s:deadline ~handle_signals:true ?cache ?journal_path:journal
+        ~resume ~on_event points
     in
     let wall = Unix.gettimeofday () -. t0 in
     Format.printf "@.";
@@ -503,17 +564,24 @@ let sweep_cmd =
       (Scanpower.Sweep.rows report);
     let s = report.Scanpower.Sweep.stats in
     Format.printf
-      "@.pool: %d scheduled, %d computed, %d cache hit%s, %d crash%s, %d \
-       timeout%s, %d retr%s, %d failed — %.1fs wall@."
+      "@.pool: %d scheduled, %d computed, %d cache hit%s, %d journal hit%s, \
+       %d crash%s, %d timeout%s, %d retr%s, %d quarantined, %d failed%s — \
+       %.1fs wall@."
       s.Runner.scheduled s.Runner.computed s.Runner.cache_hits
       (if s.Runner.cache_hits = 1 then "" else "s")
+      s.Runner.journal_hits
+      (if s.Runner.journal_hits = 1 then "" else "s")
       s.Runner.crashes
       (if s.Runner.crashes = 1 then "" else "es")
       s.Runner.timeouts
       (if s.Runner.timeouts = 1 then "" else "s")
       s.Runner.retries
       (if s.Runner.retries = 1 then "y" else "ies")
-      s.Runner.failed wall;
+      s.Runner.quarantined s.Runner.failed
+      (if s.Runner.interrupted then " (interrupted)" else "")
+      wall;
+    (* reports are written even for a partial batch — that is the point
+       of a partial batch — before the Partial error sets exit code 5 *)
     (match out with
     | None -> ()
     | Some path ->
@@ -524,13 +592,13 @@ let sweep_cmd =
     | Some path ->
       Scanpower.Sweep.write_csv path report;
       Format.printf "CSV report written to %s@." path);
-    let* () =
-      if Scanpower.Sweep.all_ok report then Ok ()
-      else
-        Error
-          (`Msg (Printf.sprintf "%d job(s) failed" report.Scanpower.Sweep.stats.Runner.failed))
-    in
-    finish_telemetry metrics_out
+    let* finished = finish_telemetry metrics_out in
+    if Scanpower.Sweep.all_ok report && not s.Runner.interrupted then
+      Ok finished
+    else
+      E.errorf ~code:E.Partial ~stage:"sweep" "%d of %d job(s) failed%s"
+        s.Runner.failed s.Runner.scheduled
+        (if s.Runner.interrupted then " (batch interrupted)" else "")
   in
   let names =
     Arg.(
@@ -569,10 +637,45 @@ let sweep_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Extra attempts after a crash, timeout or job error.")
   in
+  let backoff =
+    Arg.(
+      value & opt float 0.0
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base delay before a retry, doubled per attempt with \
+             deterministic jitter (0 = retry immediately).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Whole-batch wall-clock budget: jobs still unfinished when it \
+             expires are marked failed and the sweep returns a partial \
+             report (0 = no deadline).")
+  in
   let no_cache =
     Arg.(
       value & flag
       & info [ "no-cache" ] ~doc:"Recompute everything; touch no cache.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint journal: every finished job is appended (and \
+             flushed) as it completes, so an interrupted sweep can be \
+             finished with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the $(b,--journal) left by an interrupted run of the \
+             same sweep and recompute only the unfinished jobs.")
   in
   let cache_dir =
     Arg.(
@@ -600,12 +703,15 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Run the full flow over many circuits and seeds in parallel, with a \
-          content-addressed result cache: a re-run recomputes only changed \
-          points, a crashed worker is retried without failing the sweep.")
+          content-addressed result cache and an optional checkpoint journal: \
+          a re-run recomputes only changed points, a crashed worker is \
+          retried without failing the sweep, and $(b,--resume) finishes an \
+          interrupted batch without redoing completed jobs.")
     Term.(
       term_result
-        (const run $ names $ jobs $ seeds $ timeout $ retries $ no_cache
-       $ cache_dir $ out $ csv $ telemetry_term))
+        (const run $ names $ jobs $ seeds $ timeout $ retries $ backoff
+       $ deadline $ no_cache $ cache_dir $ journal $ resume $ out $ csv
+       $ telemetry_term))
 
 let main_cmd =
   let doc =
@@ -615,6 +721,20 @@ let main_cmd =
   Cmd.group
     (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
     [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
-      profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd; sweep_cmd ]
+      profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd; validate_cmd;
+      sweep_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit codes (also documented in the README): 0 success, 2 usage,
+   3 parse/validation, 4 io/runtime, 5 partial batch; cmdliner itself
+   keeps 124 for command-line syntax it rejects before we run. *)
+let () =
+  Runner.Fault_inject.activate_from_env ();
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception E.Error err ->
+    prerr_endline ("scanpower: " ^ E.to_string err);
+    exit (E.exit_code err.E.code)
+  | exception e ->
+    let err = E.of_exn ~stage:"cli" e in
+    prerr_endline ("scanpower: " ^ E.to_string err);
+    exit (E.exit_code err.E.code)

@@ -26,6 +26,10 @@ let default_config =
   }
 
 let m_vectors = Telemetry.Counter.make "atpg.pattern_gen.vectors"
+let m_detected = Telemetry.Counter.make "atpg.faults.detected"
+let m_untestable = Telemetry.Counter.make "atpg.faults.untestable"
+let m_aborted = Telemetry.Counter.make "atpg.faults.aborted"
+let m_skipped = Telemetry.Counter.make "atpg.faults.skipped"
 
 type outcome = {
   vectors : bool array list;
@@ -158,6 +162,12 @@ let generate ?(config = default_config) c =
   in
   let testable = total_faults - !untestable in
   Telemetry.Counter.add m_vectors (List.length vectors);
+  Telemetry.Counter.add m_detected detected_total;
+  Telemetry.Counter.add m_untestable !untestable;
+  (* aborted faults are the explicit "ATPG gave up" classification:
+     the flow proceeds, but reports and chaos tests key off this *)
+  Telemetry.Counter.add m_aborted !aborted;
+  Telemetry.Counter.add m_skipped skipped;
   Telemetry.Log.debug "atpg.generate done"
     ~fields:
       [

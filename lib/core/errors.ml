@@ -1,0 +1,5 @@
+(* Re-export so the structured error type is reachable both from the
+   bottom of the stack (netlist/techmap/atpg link against
+   [Scanpower_errors] directly — they cannot depend on this library)
+   and under the natural name [Scanpower.Errors] for flow/CLI code. *)
+include Scanpower_errors

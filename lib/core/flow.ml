@@ -7,11 +7,42 @@ type prepared = {
   atpg : Atpg.Pattern_gen.outcome;
 }
 
+(* Lint the incoming netlist before spending ATPG time on it: errors
+   become one structured Validation failure carrying every diagnostic;
+   warnings (dangling gates, unused inputs) only reach the telemetry
+   log. Parsed netlists were already validated harder by
+   [Bench_parser]; this is the safety net for programmatically built
+   circuits entering the flow. *)
+let validate_input c =
+  let diags = Validate.circuit c in
+  List.iter
+    (fun d ->
+      if d.Validate.severity = Validate.Warning then
+        Telemetry.Log.warn (Validate.to_string d)
+          ~fields:[ ("circuit", Telemetry.Json.String (Circuit.name c)) ])
+    diags;
+  match Validate.errors diags with
+  | [] -> ()
+  | errs ->
+    raise
+      (Errors.Error
+         (Errors.make ~circuit:(Circuit.name c) ~code:Errors.Validation
+            ~stage:"flow.prepare" (Validate.summary errs)))
+
 let prepare ?atpg_config c =
   Telemetry.Span.with_ ~name:"flow.prepare" (fun () ->
+      validate_input c;
       let c =
         Telemetry.Span.with_ ~name:"techmap" (fun () ->
-            if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c)
+            (* an unmappable gate is an input problem, not a bug: the
+               library's Invalid_argument becomes a structured
+               Validation error naming the circuit *)
+            try if Techmap.Mapper.is_mapped c then c else Techmap.Mapper.map c
+            with Invalid_argument msg ->
+              raise
+                (Errors.Error
+                   (Errors.make ~circuit:(Circuit.name c)
+                      ~code:Errors.Validation ~stage:"flow.techmap" msg)))
       in
       let atpg =
         Telemetry.Span.with_ ~name:"atpg" (fun () ->
@@ -73,6 +104,32 @@ type technique_result = {
   total_toggles : int;
 }
 
+type atpg_summary = {
+  total_faults : int;
+  detected : int;
+  untestable : int;
+  aborted : int;
+  skipped : int;
+  coverage : float;
+}
+
+let atpg_summary_of (o : Atpg.Pattern_gen.outcome) =
+  {
+    total_faults = o.Atpg.Pattern_gen.total_faults;
+    detected = o.Atpg.Pattern_gen.detected;
+    untestable = o.Atpg.Pattern_gen.untestable;
+    aborted = o.Atpg.Pattern_gen.aborted;
+    skipped = o.Atpg.Pattern_gen.skipped;
+    coverage = o.Atpg.Pattern_gen.coverage;
+  }
+
+(* an abort (backtrack exhaustion) degrades coverage but must not fail
+   the flow; reports surface it as an explicit status instead *)
+let atpg_status s =
+  if s.aborted > 0 then "aborted_faults"
+  else if s.skipped > 0 then "budget_exhausted"
+  else "complete"
+
 type comparison = {
   name : string;
   n_vectors : int;
@@ -81,6 +138,7 @@ type comparison = {
   blocked_gates : int;
   failed_gates : int;
   reordered_gates : int;
+  atpg : atpg_summary;
   traditional : technique_result;
   input_control : technique_result;
   proposed : technique_result;
@@ -182,6 +240,7 @@ let evaluate ?(engine = Scan.Scan_sim.Packed) ?(seed = 42) p =
     blocked_gates = cp.Controlled_pattern.blocked_gates;
     failed_gates = cp.Controlled_pattern.failed_gates;
     reordered_gates = reorder.Input_reorder.gates_reordered;
+    atpg = atpg_summary_of p.atpg;
     traditional = result_of trad;
     input_control = result_of ic_m;
     proposed = result_of prop_m;
@@ -205,3 +264,20 @@ let run_benchmark_cached ?atpg_config ?engine ?seed c =
 let improvement base x =
   if base = 0.0 then (if x = 0.0 then 0.0 else Float.nan)
   else 100.0 *. (base -. x) /. base
+
+(* The JSON layer degrades non-finite floats to null, which readers
+   then cannot tell apart from "0% change"; reports therefore carry an
+   explicit status beside (or instead of) the percentage. *)
+let improvement_json ~base x =
+  let module Json = Telemetry.Json in
+  if Float.is_nan base || Float.is_nan x then
+    Json.Obj [ ("status", Json.String "undefined") ]
+  else if base = 0.0 then
+    if x = 0.0 then Json.Obj [ ("status", Json.String "no_change") ]
+    else Json.Obj [ ("status", Json.String "zero_baseline") ]
+  else
+    Json.Obj
+      [
+        ("status", Json.String "ok");
+        ("pct", Json.Float (100.0 *. (base -. x) /. base));
+      ]

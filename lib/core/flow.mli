@@ -16,7 +16,11 @@ type prepared = {
 }
 
 val prepare : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> prepared
-(** Maps the circuit if needed and generates its test set. *)
+(** Maps the circuit if needed and generates its test set. Runs
+    {!Netlist.Validate.circuit} first: lint errors raise one
+    {!Errors.Error} (code [Validation], stage ["flow.prepare"])
+    carrying {e all} diagnostics; warnings only reach the telemetry
+    log. *)
 
 val prepare_cached : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> prepared
 (** Like {!prepare} but memoized (process-wide) on the netlist content
@@ -33,6 +37,23 @@ type technique_result = {
   total_toggles : int;
 }
 
+type atpg_summary = {
+  total_faults : int;
+  detected : int;
+  untestable : int;
+  aborted : int;  (** faults the PODEM backtrack limit gave up on *)
+  skipped : int;  (** faults the phase-2 budget never reached *)
+  coverage : float;
+}
+
+val atpg_summary_of : Atpg.Pattern_gen.outcome -> atpg_summary
+
+val atpg_status : atpg_summary -> string
+(** ["complete"] when every fault was resolved, ["aborted_faults"]
+    when the backtrack limit cut some off, ["budget_exhausted"] when
+    only the budget did. An abort degrades coverage but never fails
+    the flow — reports carry this status instead. *)
+
 type comparison = {
   name : string;
   n_vectors : int;
@@ -41,6 +62,7 @@ type comparison = {
   blocked_gates : int;
   failed_gates : int;
   reordered_gates : int;
+  atpg : atpg_summary;
   traditional : technique_result;
   input_control : technique_result;
   proposed : technique_result;
@@ -83,3 +105,10 @@ val improvement : float -> float -> float
     percentage exists: the result is [nan] (unless [x] is also zero, in
     which case it is [0.0]) so a regression from a zero baseline can
     never masquerade as "no change". *)
+
+val improvement_json : base:float -> float -> Telemetry.Json.t
+(** {!improvement} with the edge cases made explicit instead of
+    smuggled through [nan] (which the JSON layer can only render as
+    [null]): [{"status":"ok","pct":…}], [{"status":"no_change"}]
+    (both zero), [{"status":"zero_baseline"}] (regression from a zero
+    baseline) or [{"status":"undefined"}] (a [nan] input). *)

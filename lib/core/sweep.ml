@@ -1,7 +1,10 @@
 open Netlist
 module Json = Telemetry.Json
 
-let schema_version = "scanpower.sweep/1"
+(* /2: comparisons now embed the ATPG summary. Bumping this changes
+   every cache key, which is exactly the clean invalidation story: /1
+   entries become stale misses (deleted on sight), never mis-decodes. *)
+let schema_version = "scanpower.sweep/2"
 
 type params = { seed : int }
 type point = { circuit : Circuit.t; params : params }
@@ -32,6 +35,18 @@ let technique_to_json (t : Flow.technique_result) =
       ("total_toggles", Json.Int t.Flow.total_toggles);
     ]
 
+let atpg_to_json (a : Flow.atpg_summary) =
+  Json.Obj
+    [
+      ("status", Json.String (Flow.atpg_status a));
+      ("total_faults", Json.Int a.Flow.total_faults);
+      ("detected", Json.Int a.Flow.detected);
+      ("untestable", Json.Int a.Flow.untestable);
+      ("aborted", Json.Int a.Flow.aborted);
+      ("skipped", Json.Int a.Flow.skipped);
+      ("coverage", Json.Float a.Flow.coverage);
+    ]
+
 let comparison_to_json (c : Flow.comparison) =
   Json.Obj
     [
@@ -42,6 +57,7 @@ let comparison_to_json (c : Flow.comparison) =
       ("blocked_gates", Json.Int c.Flow.blocked_gates);
       ("failed_gates", Json.Int c.Flow.failed_gates);
       ("reordered_gates", Json.Int c.Flow.reordered_gates);
+      ("atpg", atpg_to_json c.Flow.atpg);
       ("traditional", technique_to_json c.Flow.traditional);
       ("input_control", technique_to_json c.Flow.input_control);
       ("proposed", technique_to_json c.Flow.proposed);
@@ -77,6 +93,20 @@ let technique_of_json obj key =
     Ok { Flow.dynamic_per_hz_uw; static_uw; peak_static_uw; total_toggles }
   | _ -> Error (Printf.sprintf "missing technique field %S" key)
 
+(* "status" is derived from the counts by [Flow.atpg_status], so the
+   decoder ignores it rather than trusting the serialized copy. *)
+let atpg_of_json obj =
+  match Json.member "atpg" obj with
+  | Some (Json.Obj _ as a) ->
+    let* total_faults = int_field a "total_faults" in
+    let* detected = int_field a "detected" in
+    let* untestable = int_field a "untestable" in
+    let* aborted = int_field a "aborted" in
+    let* skipped = int_field a "skipped" in
+    let* coverage = float_field a "coverage" in
+    Ok { Flow.total_faults; detected; untestable; aborted; skipped; coverage }
+  | _ -> Error "missing atpg field"
+
 let comparison_of_json obj =
   let* name = string_field obj "name" in
   let* n_vectors = int_field obj "n_vectors" in
@@ -85,6 +115,7 @@ let comparison_of_json obj =
   let* blocked_gates = int_field obj "blocked_gates" in
   let* failed_gates = int_field obj "failed_gates" in
   let* reordered_gates = int_field obj "reordered_gates" in
+  let* atpg = atpg_of_json obj in
   let* traditional = technique_of_json obj "traditional" in
   let* input_control = technique_of_json obj "input_control" in
   let* proposed = technique_of_json obj "proposed" in
@@ -92,7 +123,8 @@ let comparison_of_json obj =
   Ok
     {
       Flow.name; n_vectors; n_dffs; n_muxable; blocked_gates; failed_gates;
-      reordered_gates; traditional; input_control; proposed; enhanced_scan;
+      reordered_gates; atpg; traditional; input_control; proposed;
+      enhanced_scan;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -112,27 +144,71 @@ type job_result = {
 type report = { results : job_result list; stats : Runner.stats }
 
 let job_of (point : point) =
+  let id =
+    Printf.sprintf "%s seed=%d" (Circuit.name point.circuit) point.params.seed
+  in
+  (* A forced-abort injection legitimately changes the result (coverage
+     drops, vectors differ), so the job must bypass the shared cache:
+     an injected entry stored under the content address would outlive
+     the chaos run and poison clean sweeps. *)
+  let abort_atpg =
+    Runner.Fault_inject.(fires Atpg_abort ~key:(id ^ "#atpg"))
+  in
+  let atpg_config =
+    if abort_atpg then
+      Some { Atpg.Pattern_gen.default_config with backtrack_limit = 0 }
+    else None
+  in
   {
-    Runner.id =
-      Printf.sprintf "%s seed=%d" (Circuit.name point.circuit)
-        point.params.seed;
-    cache_key = Some (cache_key point);
+    Runner.id;
+    cache_key = (if abort_atpg then None else Some (cache_key point));
     run =
       (fun ~attempt:_ ->
         comparison_to_json
-          (Flow.run_benchmark_cached ~seed:point.params.seed point.circuit));
+          (Flow.run_benchmark_cached ?atpg_config ~seed:point.params.seed
+             point.circuit));
   }
 
-let run ?(jobs = 1) ?(timeout_s = 0.0) ?(retries = 1) ?cache
-    ?(capture_telemetry = true) ?(on_event = fun (_ : Runner.event) -> ())
-    points =
+(* The journal header binds a checkpoint file to one batch: the result
+   schema plus a digest of the (sorted) job identities. A resume
+   against a different point set or schema refuses to reuse the file
+   rather than serving answers for the wrong question. *)
+let journal_meta points =
+  let keys = List.sort String.compare (List.map cache_key points) in
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("points", Json.Int (List.length points));
+      ("keys_digest",
+       Json.String (Digest.to_hex (Digest.string (String.concat "\n" keys))));
+    ]
+
+let run ?(jobs = 1) ?(timeout_s = 0.0) ?(retries = 1) ?(backoff_s = 0.0)
+    ?(deadline_s = 0.0) ?(poison_threshold = 3) ?(handle_signals = false)
+    ?cache ?journal_path ?(resume = false) ?(capture_telemetry = true)
+    ?(on_event = fun (_ : Runner.event) -> ()) points =
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path -> (
+      try
+        Some (Runner.Journal.open_ ~path ~meta:(journal_meta points) ~resume)
+      with Sys_error msg ->
+        raise
+          (Errors.Error
+             (Errors.make ~code:Errors.Io ~stage:"sweep.journal" msg)))
+  in
   let config =
     {
-      Runner.jobs; timeout_s; retries; cache; capture_telemetry;
-      on_event;
+      Runner.default_config with
+      jobs; timeout_s; retries; backoff_s; deadline_s; poison_threshold;
+      handle_signals; cache; journal; capture_telemetry; on_event;
     }
   in
-  let results, stats = Runner.run ~config (List.map job_of points) in
+  let finally () = Option.iter Runner.Journal.close journal in
+  let results, stats =
+    Fun.protect ~finally (fun () -> Runner.run ~config (List.map job_of points))
+  in
   let results =
     List.map2
       (fun (point : point) (r : Runner.result) ->
@@ -145,10 +221,12 @@ let run ?(jobs = 1) ?(timeout_s = 0.0) ?(retries = 1) ?cache
             comparison = comparison_of_json value;
             from_cache; attempts; duration_s; telemetry;
           }
-        | Runner.Failed { attempts; last } ->
+        | Runner.Failed { attempts; last; quarantined } ->
+          let msg = Runner.failure_to_string last in
+          let msg = if quarantined then "quarantined: " ^ msg else msg in
           {
             circuit; seed;
-            comparison = Error (Runner.failure_to_string last);
+            comparison = Error msg;
             from_cache = false; attempts; duration_s = 0.0; telemetry = None;
           })
       points results
@@ -183,7 +261,24 @@ let job_to_json r =
        ("duration_s", Json.Float r.duration_s);
      ]
     @ (match r.comparison with
-      | Ok c -> [ ("comparison", comparison_to_json c) ]
+      | Ok c ->
+        let t = c.Flow.traditional and p = c.Flow.proposed in
+        [
+          ("comparison", comparison_to_json c);
+          ( "improvements",
+            Json.Obj
+              [
+                ( "dynamic_vs_traditional",
+                  Flow.improvement_json ~base:t.Flow.dynamic_per_hz_uw
+                    p.Flow.dynamic_per_hz_uw );
+                ( "static_vs_traditional",
+                  Flow.improvement_json ~base:t.Flow.static_uw p.Flow.static_uw
+                );
+                ( "peak_static_vs_traditional",
+                  Flow.improvement_json ~base:t.Flow.peak_static_uw
+                    p.Flow.peak_static_uw );
+              ] );
+        ]
       | Error e -> [ ("error", Json.String e) ])
     @
     match r.telemetry with
@@ -202,7 +297,15 @@ let csv_header =
   "circuit,seed,status,from_cache,attempts,duration_s,n_vectors,n_dffs,\
    n_muxable,trad_dyn_per_hz_uw,trad_static_uw,ic_dyn_per_hz_uw,\
    ic_static_uw,prop_dyn_per_hz_uw,prop_static_uw,enh_dyn_per_hz_uw,\
-   enh_static_uw,dyn_impr_vs_trad_pct,static_impr_vs_trad_pct"
+   enh_static_uw,dyn_impr_vs_trad_pct,static_impr_vs_trad_pct,\
+   atpg_coverage,atpg_aborted,atpg_status"
+
+(* "undefined" instead of "nan": spreadsheet tools parse "nan" as a
+   string in some locales and as a number in others, so an explicit
+   marker is the only rendering that survives round-trips. *)
+let csv_pct base x =
+  let v = Flow.improvement base x in
+  if Float.is_nan v then "undefined" else Printf.sprintf "%.3f" v
 
 let csv_line r =
   let common =
@@ -211,20 +314,22 @@ let csv_line r =
       r.from_cache r.attempts r.duration_s
   in
   match r.comparison with
-  | Error _ -> common ^ ",,,,,,,,,,,,,"
+  | Error _ -> common ^ ",,,,,,,,,,,,,,,,"
   | Ok c ->
     let t = c.Flow.traditional
     and ic = c.Flow.input_control
     and p = c.Flow.proposed
     and e = c.Flow.enhanced_scan in
     Printf.sprintf
-      "%s,%d,%d,%d,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%.3f,%.3f" common
-      c.Flow.n_vectors c.Flow.n_dffs c.Flow.n_muxable t.Flow.dynamic_per_hz_uw
-      t.Flow.static_uw ic.Flow.dynamic_per_hz_uw ic.Flow.static_uw
-      p.Flow.dynamic_per_hz_uw p.Flow.static_uw e.Flow.dynamic_per_hz_uw
-      e.Flow.static_uw
-      (Flow.improvement t.Flow.dynamic_per_hz_uw p.Flow.dynamic_per_hz_uw)
-      (Flow.improvement t.Flow.static_uw p.Flow.static_uw)
+      "%s,%d,%d,%d,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%.9e,%.6f,%s,%s,%.4f,%d,%s"
+      common c.Flow.n_vectors c.Flow.n_dffs c.Flow.n_muxable
+      t.Flow.dynamic_per_hz_uw t.Flow.static_uw ic.Flow.dynamic_per_hz_uw
+      ic.Flow.static_uw p.Flow.dynamic_per_hz_uw p.Flow.static_uw
+      e.Flow.dynamic_per_hz_uw e.Flow.static_uw
+      (csv_pct t.Flow.dynamic_per_hz_uw p.Flow.dynamic_per_hz_uw)
+      (csv_pct t.Flow.static_uw p.Flow.static_uw)
+      c.Flow.atpg.Flow.coverage c.Flow.atpg.Flow.aborted
+      (Flow.atpg_status c.Flow.atpg)
 
 let to_csv t =
   String.concat "\n" (csv_header :: List.map csv_line t.results) ^ "\n"

@@ -27,6 +27,8 @@ val cache_key : point -> string
     the parameter point and {!schema_version}. *)
 
 val comparison_to_json : Flow.comparison -> Telemetry.Json.t
+(** Embeds the ATPG summary (with its derived ["status"]) beside the
+    four technique results. *)
 
 val comparison_of_json :
   Telemetry.Json.t -> (Flow.comparison, string) result
@@ -47,18 +49,40 @@ type job_result = {
 
 type report = { results : job_result list; stats : Runner.stats }
 
+val journal_meta : point list -> Telemetry.Json.t
+(** The checkpoint-journal header for a batch: {!schema_version} plus
+    a digest of the sorted cache keys, so a [--resume] against a
+    different point set (or schema) starts the journal over instead of
+    serving answers for the wrong batch. *)
+
 val run :
   ?jobs:int ->
   ?timeout_s:float ->
   ?retries:int ->
+  ?backoff_s:float ->
+  ?deadline_s:float ->
+  ?poison_threshold:int ->
+  ?handle_signals:bool ->
   ?cache:Runner.Cache.t ->
+  ?journal_path:string ->
+  ?resume:bool ->
   ?capture_telemetry:bool ->
   ?on_event:(Runner.event -> unit) ->
   point list ->
   report
 (** Evaluate every point; [results] is in point order. Defaults:
-    [jobs = 1], no timeout, [retries = 1], no cache,
-    [capture_telemetry = true]. *)
+    [jobs = 1], no timeout, [retries = 1], no backoff, no deadline,
+    [poison_threshold = 3], signals not handled, no cache, no journal,
+    [capture_telemetry = true].
+
+    [journal_path] opens a JSON-lines checkpoint journal (header =
+    {!journal_meta}) that records every finished job as it completes;
+    with [resume = true] a journal left by an interrupted run of the
+    {e same} batch is replayed first and only unfinished jobs are
+    recomputed (composing with, and consulted before, the
+    content-addressed [cache]). The journal is closed (flushed) even
+    if the run raises. Raises {!Errors.Error} (code [Io]) when the
+    journal file cannot be opened. *)
 
 val rows : report -> Report.row list
 (** Table I rows of the successful results, in point order. *)
@@ -72,8 +96,10 @@ val to_json : report -> Telemetry.Json.t
 
 val to_csv : report -> string
 (** One line per job: parameters, provenance, the raw power numbers of
-    all four structures and the improvement percentages of the
-    proposed structure versus traditional scan. *)
+    all four structures, the improvement percentages of the proposed
+    structure versus traditional scan (["undefined"] when no
+    percentage exists, never ["nan"]), and the ATPG
+    coverage/aborted/status columns. *)
 
 val write_json : string -> report -> unit
 

@@ -1,0 +1,101 @@
+type code = Usage | Parse | Validation | Io | Runtime | Partial
+
+let code_to_string = function
+  | Usage -> "usage"
+  | Parse -> "parse"
+  | Validation -> "validation"
+  | Io -> "io"
+  | Runtime -> "runtime"
+  | Partial -> "partial"
+
+(* Keep these in sync with the README troubleshooting table: 2 = bad
+   invocation, 3 = bad input, 4 = the flow itself failed, 5 = a batch
+   finished with failures. Cmdliner owns 124 for flag-syntax errors. *)
+let exit_code = function
+  | Usage -> 2
+  | Parse | Validation -> 3
+  | Io | Runtime -> 4
+  | Partial -> 5
+
+type location = { file : string option; line : int; column : int }
+
+type t = {
+  code : code;
+  stage : string;
+  circuit : string option;
+  loc : location option;
+  token : string option;
+  message : string;
+}
+
+exception Error of t
+
+let make ?circuit ?loc ?token ~code ~stage message =
+  { code; stage; circuit; loc; token; message }
+
+let raise_error ?circuit ?loc ?token ~code ~stage message =
+  raise (Error (make ?circuit ?loc ?token ~code ~stage message))
+
+let errorf ?circuit ?loc ?token ~code ~stage fmt =
+  Printf.ksprintf (raise_error ?circuit ?loc ?token ~code ~stage) fmt
+
+let to_string e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (code_to_string e.code);
+  Buffer.add_string b " error in ";
+  Buffer.add_string b e.stage;
+  (match e.circuit with
+  | Some c ->
+    Buffer.add_string b " [";
+    Buffer.add_string b c;
+    Buffer.add_char b ']'
+  | None -> ());
+  (match e.loc with
+  | Some l ->
+    Buffer.add_string b " at ";
+    (match l.file with
+    | Some f ->
+      Buffer.add_string b f;
+      Buffer.add_char b ':'
+    | None -> ());
+    Buffer.add_string b (string_of_int l.line);
+    if l.column > 0 then begin
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int l.column)
+    end
+  | None -> ());
+  (match e.token with
+  | Some t -> Buffer.add_string b (Printf.sprintf " near %S" t)
+  | None -> ());
+  Buffer.add_string b ": ";
+  Buffer.add_string b e.message;
+  Buffer.contents b
+
+let to_json e =
+  let module Json = Telemetry.Json in
+  let opt k v rest =
+    match v with Some s -> (k, Json.String s) :: rest | None -> rest
+  in
+  let loc_fields rest =
+    match e.loc with
+    | None -> rest
+    | Some l ->
+      opt "file" l.file
+        (("line", Json.Int l.line) :: ("column", Json.Int l.column) :: rest)
+  in
+  Json.Obj
+    (("code", Json.String (code_to_string e.code))
+    :: ("stage", Json.String e.stage)
+    :: opt "circuit" e.circuit
+         (loc_fields (opt "token" e.token [ ("message", Json.String e.message) ])))
+
+let of_exn ~stage ?circuit exn =
+  match exn with
+  | Error e ->
+    (match (e.circuit, circuit) with
+    | None, Some _ -> { e with circuit }
+    | _ -> e)
+  | Sys_error msg -> make ?circuit ~code:Io ~stage msg
+  | Failure msg -> make ?circuit ~code:Runtime ~stage msg
+  | Invalid_argument msg -> make ?circuit ~code:Runtime ~stage msg
+  | e -> make ?circuit ~code:Runtime ~stage (Printexc.to_string e)

@@ -1,12 +1,32 @@
-exception Parse_error of int * string
-
-let fail lineno fmt =
-  Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt
+module E = Scanpower_errors
 
 type statement =
   | St_input of string
   | St_output of string
   | St_assign of string * string * string list (* lhs, kind, args *)
+
+(* 1-based column of [token] in [line]; 0 when it cannot be located *)
+let column_of line token =
+  if token = "" then 0
+  else begin
+    let n = String.length line and m = String.length token in
+    let rec go i =
+      if i + m > n then 0
+      else if String.sub line i m = token then i + 1
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let syntax_error ?file ~line ?(col = 0) ?token fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise
+        (E.Error
+           (E.make ?token
+              ~loc:{ E.file; line; column = col }
+              ~code:E.Parse ~stage:"bench_parser" message)))
+    fmt
 
 let is_ident_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '[' | ']' | '$' | '-' ->
@@ -21,12 +41,18 @@ let strip s =
   while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t' || s.[!j] = '\r') do decr j done;
   String.sub s !i (!j - !i + 1)
 
-(* "KIND(a, b, c)" -> (KIND, [a; b; c]) *)
-let parse_call lineno s =
+(* "KIND(a, b, c)" -> (KIND, [a; b; c]); [orig] is the whole source
+   line, used only to locate offending tokens for diagnostics *)
+let parse_call ?file lineno ~orig s =
   match String.index_opt s '(' with
-  | None -> fail lineno "expected '(' in %S" s
+  | None ->
+    syntax_error ?file ~line:lineno ~col:(column_of orig s) ~token:s
+      "expected '(' in %S" s
   | Some lp ->
-    if s.[String.length s - 1] <> ')' then fail lineno "expected ')' in %S" s;
+    if s.[String.length s - 1] <> ')' then
+      syntax_error ?file ~line:lineno
+        ~col:(String.length orig)
+        ~token:s "expected ')' in %S (truncated line?)" s;
     let kind = strip (String.sub s 0 lp) in
     let args_str = String.sub s (lp + 1) (String.length s - lp - 2) in
     let args =
@@ -39,12 +65,14 @@ let parse_call lineno s =
         String.iter
           (fun c ->
             if not (is_ident_char c) then
-              fail lineno "invalid character %C in signal name %S" c a)
+              syntax_error ?file ~line:lineno ~col:(column_of orig a) ~token:a
+                "invalid character %C in signal name %S" c a)
           a)
       args;
     (kind, args)
 
-let parse_line lineno line =
+let parse_line ?file lineno line =
+  let orig = line in
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -57,22 +85,74 @@ let parse_line lineno line =
     | Some eq ->
       let lhs = strip (String.sub line 0 eq) in
       let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
-      if lhs = "" then fail lineno "empty left-hand side";
-      let kind, args = parse_call lineno rhs in
+      if lhs = "" then
+        syntax_error ?file ~line:lineno ~col:1 ~token:line
+          "empty left-hand side";
+      let kind, args = parse_call ?file lineno ~orig rhs in
       Some (St_assign (lhs, kind, args))
     | None ->
-      let kind, args = parse_call lineno line in
+      let kind, args = parse_call ?file lineno ~orig line in
       let arg =
         match args with
         | [ a ] -> a
-        | _ -> fail lineno "%s takes exactly one signal" kind
+        | _ ->
+          syntax_error ?file ~line:lineno ~col:(column_of orig kind) ~token:kind
+            "%s takes exactly one signal" kind
       in
       (match String.uppercase_ascii kind with
       | "INPUT" -> Some (St_input arg)
       | "OUTPUT" -> Some (St_output arg)
-      | other -> fail lineno "unknown directive %S" other)
+      | other ->
+        syntax_error ?file ~line:lineno ~col:(column_of orig kind) ~token:kind
+          "unknown directive %S (expected INPUT or OUTPUT)" other)
 
-let build ?(name = "bench") statements =
+(* Parse every line, turning per-line syntax failures into [syntax]
+   diagnostics instead of stopping at the first one. *)
+let statements_and_syntax ?file text =
+  let statements = ref [] and diags = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match parse_line ?file lineno line with
+      | Some st -> statements := (lineno, st) :: !statements
+      | None -> ()
+      | exception E.Error e ->
+        diags :=
+          {
+            Validate.severity = Validate.Error;
+            check = "syntax";
+            net = (match e.E.token with Some t -> t | None -> "");
+            line = lineno;
+            message = e.E.message;
+          }
+          :: !diags)
+    (String.split_on_char '\n' text);
+  (List.rev !statements, List.rev !diags)
+
+let decls_of_statements stmts =
+  List.map
+    (fun (line, st) ->
+      match st with
+      | St_input name -> Validate.D_input { line; name }
+      | St_output name -> Validate.D_output { line; name }
+      | St_assign (name, kind, args) -> Validate.D_gate { line; name; kind; args })
+    stmts
+
+let lint ?file text =
+  let stmts, syntax = statements_and_syntax ?file text in
+  syntax @ Validate.decls (decls_of_statements stmts)
+
+let build ?(name = "bench") ?file statements =
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun message ->
+        raise
+          (E.Error
+             (E.make ~circuit:name
+                ~loc:{ E.file; line = lineno; column = 0 }
+                ~code:E.Validation ~stage:"bench_parser" message)))
+      fmt
+  in
   let b = Circuit.Builder.create ~name () in
   let ids = Hashtbl.create 256 in
   (* Pass 1: allocate an id for every defined signal, in file order, so
@@ -155,20 +235,34 @@ let build ?(name = "bench") statements =
   try Circuit.Builder.build b
   with Invalid_argument msg -> fail 0 "%s" msg
 
-let parse_string ?name text =
-  let statements = ref [] in
-  List.iteri
-    (fun i line ->
-      match parse_line (i + 1) line with
-      | Some st -> statements := (i + 1, st) :: !statements
-      | None -> ())
-    (String.split_on_char '\n' text);
-  build ?name (List.rev !statements)
+let raise_all ?name ?file ~code diags =
+  let first =
+    match diags with d :: _ -> d | [] -> invalid_arg "Bench_parser.raise_all"
+  in
+  let token = if first.Validate.net = "" then None else Some first.Validate.net in
+  raise
+    (E.Error
+       (E.make ?circuit:name ?token
+          ~loc:{ E.file; line = first.Validate.line; column = 0 }
+          ~code ~stage:"bench_parser" (Validate.summary diags)))
+
+let parse_string ?name ?file text =
+  let stmts, syntax = statements_and_syntax ?file text in
+  if syntax <> [] then raise_all ?name ?file ~code:E.Parse syntax;
+  let diags = Validate.errors (Validate.decls (decls_of_statements stmts)) in
+  if diags <> [] then raise_all ?name ?file ~code:E.Validation diags;
+  build ?name ?file stmts
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text =
+    try
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+    with Sys_error msg ->
+      E.raise_error ~code:E.Io ~stage:"bench_parser" msg
+  in
   let base = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name:base text
+  parse_string ~name:base ~file:path text

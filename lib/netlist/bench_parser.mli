@@ -6,15 +6,25 @@
     OUTPUT(G17)
     G5  = DFF(G10)
     G10 = NAND(G0, G5)
-    v} *)
+    v}
 
-exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+    Malformed input raises {!Scanpower_errors.Error} with stage
+    ["bench_parser"], carrying the file (when parsing from disk), the
+    1-based line and column, and the offending token. Syntax errors
+    (code [Parse]) and semantic errors (code [Validation] — see
+    {!Validate}) each report {e every} problem found, newline-joined in
+    the message, not just the first. *)
 
-val parse_string : ?name:string -> string -> Circuit.t
-(** @raise Parse_error on malformed input. *)
+val parse_string : ?name:string -> ?file:string -> string -> Circuit.t
+(** [file] is only used to label error locations.
+    @raise Scanpower_errors.Error on malformed input. *)
 
 val parse_file : string -> Circuit.t
 (** Circuit name defaults to the file basename without extension.
-    @raise Parse_error on malformed input
-    @raise Sys_error if the file cannot be read. *)
+    @raise Scanpower_errors.Error on malformed input (code [Parse] or
+    [Validation]) or an unreadable file (code [Io]). *)
+
+val lint : ?file:string -> string -> Validate.diagnostic list
+(** Non-raising: every syntax and semantic diagnostic for the text, in
+    source order ([check = "syntax"] entries first). Empty means the
+    text parses into a well-formed circuit. *)

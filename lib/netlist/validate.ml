@@ -1,0 +1,187 @@
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  check : string;
+  net : string;
+  line : int;
+  message : string;
+}
+
+type decl =
+  | D_input of { line : int; name : string }
+  | D_output of { line : int; name : string }
+  | D_gate of { line : int; name : string; kind : string; args : string list }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  let line = if d.line > 0 then Printf.sprintf "line %d: " d.line else "" in
+  let net = if d.net = "" then "" else Printf.sprintf " net %S" d.net in
+  Printf.sprintf "%s%s [%s]%s: %s" line
+    (severity_to_string d.severity)
+    d.check net d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let summary ds =
+  let warnings = List.filter (fun d -> d.severity = Warning) ds in
+  String.concat "\n" (List.map to_string (errors ds @ warnings))
+
+let arity_ok k n =
+  n >= Gate.min_fanin k
+  && match Gate.max_fanin k with None -> true | Some m -> n <= m
+
+let expected_arity k =
+  let mn = Gate.min_fanin k in
+  match Gate.max_fanin k with
+  | Some m when m = mn -> Printf.sprintf "exactly %d" mn
+  | Some m -> Printf.sprintf "%d to %d" mn m
+  | None -> Printf.sprintf "at least %d" mn
+
+let decls ds =
+  let diags = ref [] in
+  let add severity check net line fmt =
+    Printf.ksprintf
+      (fun message -> diags := { severity; check; net; line; message } :: !diags)
+      fmt
+  in
+  let def = function
+    | D_input { line; name } | D_gate { line; name; _ } -> Some (line, name)
+    | D_output _ -> None
+  in
+  (* duplicate definitions: a net may only be driven once *)
+  let def_line = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      match def d with
+      | Some (line, name) -> (
+        match Hashtbl.find_opt def_line name with
+        | Some l0 ->
+          add Error "multiply-driven" name line
+            "signal %S is driven again here (first driven at line %d)" name l0
+        | None -> Hashtbl.add def_line name line)
+      | None -> ())
+    ds;
+  (* opcode and arity, per gate declaration *)
+  List.iter
+    (function
+      | D_gate { line; name; kind; args } -> (
+        match Gate.of_string kind with
+        | exception Invalid_argument _ ->
+          add Error "opcode" name line "unknown gate kind %S driving %S" kind
+            name
+        | Gate.Input | Gate.Output ->
+          add Error "opcode" name line
+            "%s is not valid on the right-hand side" kind
+        | k ->
+          let n = List.length args in
+          if not (arity_ok k n) then
+            add Error "arity" name line "%s %S takes %s input(s), got %d"
+              (Gate.to_string k) name (expected_arity k) n)
+      | D_input _ | D_output _ -> ())
+    ds;
+  (* references to nets nothing drives *)
+  let reported = Hashtbl.create 16 in
+  let check_ref line name =
+    if not (Hashtbl.mem def_line name) && not (Hashtbl.mem reported name) then begin
+      Hashtbl.add reported name ();
+      add Error "undriven" name line
+        "undefined signal %S: referenced but never driven" name
+    end
+  in
+  List.iter
+    (function
+      | D_gate { line; args; _ } -> List.iter (check_ref line) args
+      | D_output { line; name } -> check_ref line name
+      | D_input _ -> ())
+    ds;
+  (* defined but feeding nothing *)
+  let used = Hashtbl.create 64 in
+  List.iter
+    (function
+      | D_gate { args; _ } -> List.iter (fun a -> Hashtbl.replace used a ()) args
+      | D_output { name; _ } -> Hashtbl.replace used name ()
+      | D_input _ -> ())
+    ds;
+  List.iter
+    (fun d ->
+      match def d with
+      | Some (line, name) when not (Hashtbl.mem used name) ->
+        add Warning "dangling" name line
+          "signal %S drives nothing (dangling fanout)" name
+      | _ -> ())
+    ds;
+  if ds <> [] && not (List.exists (function D_output _ -> true | _ -> false) ds)
+  then add Warning "no-output" "" 0 "netlist declares no primary outputs";
+  (* combinational loops: DFS over the combinational gates only (a DFF
+     legitimately closes sequential feedback), reporting each back edge
+     as one diagnostic naming the full cycle *)
+  let comb = Hashtbl.create 64 in
+  let comb_order = ref [] in
+  List.iter
+    (function
+      | D_gate { line; name; kind; args } -> (
+        match Gate.of_string kind with
+        | exception Invalid_argument _ -> ()
+        | k when Gate.is_logic k ->
+          if not (Hashtbl.mem comb name) then begin
+            Hashtbl.add comb name (line, args);
+            comb_order := name :: !comb_order
+          end
+        | _ -> ())
+      | D_input _ | D_output _ -> ())
+    ds;
+  let color = Hashtbl.create 64 in
+  (* path: grey ancestors, most recent first *)
+  let rec dfs path name =
+    match Hashtbl.find_opt color name with
+    | Some 2 -> ()
+    | Some 1 ->
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = name then [ x ] else x :: cut rest
+      in
+      let cycle = List.rev (cut path) in
+      let line =
+        match Hashtbl.find_opt comb name with Some (l, _) -> l | None -> 0
+      in
+      add Error "combinational-loop" name line "combinational loop: %s"
+        (String.concat " -> " (cycle @ [ name ]))
+    | Some _ | None ->
+      Hashtbl.replace color name 1;
+      (match Hashtbl.find_opt comb name with
+      | Some (_, args) ->
+        List.iter
+          (fun a -> if Hashtbl.mem comb a then dfs (name :: path) a)
+          args
+      | None -> ());
+      Hashtbl.replace color name 2
+  in
+  List.iter (dfs []) (List.rev !comb_order);
+  List.rev !diags
+
+let circuit c =
+  let diags = ref [] in
+  let add severity check net fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags := { severity; check; net; line = 0; message } :: !diags)
+      fmt
+  in
+  Array.iter
+    (fun nd ->
+      let k = nd.Circuit.kind in
+      let n = Array.length nd.Circuit.fanins in
+      if not (arity_ok k n) then
+        add Error "arity" nd.Circuit.name "%s %S takes %s input(s), got %d"
+          (Gate.to_string k) nd.Circuit.name (expected_arity k) n;
+      if Array.length nd.Circuit.fanouts = 0 then
+        if Gate.is_logic k then
+          add Warning "dangling" nd.Circuit.name
+            "gate %S drives nothing (dangling fanout)" nd.Circuit.name
+        else if k = Gate.Input then
+          add Warning "unused-input" nd.Circuit.name
+            "primary input %S drives nothing" nd.Circuit.name)
+    (Circuit.nodes c);
+  List.rev !diags

@@ -1,0 +1,57 @@
+(** Netlist lint: collect {e every} problem in a netlist instead of
+    failing on the first one.
+
+    Two entry points. {!decls} checks the declaration-level view a
+    parser produces {e before} building a {!Circuit.t} — this is where
+    ill-formed input (multiply-driven nets, undriven references,
+    combinational loops, bad arity, unknown opcodes) must be caught,
+    because the strict {!Circuit.Builder} rejects such netlists on the
+    first violation. {!circuit} checks an already-built circuit, as a
+    safety net for programmatically constructed netlists entering the
+    flow.
+
+    Diagnostics never raise; callers decide whether errors are fatal
+    (see [Bench_parser] and [Flow.prepare]). *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  check : string;
+      (** stable machine tag: ["multiply-driven"], ["undriven"],
+          ["combinational-loop"], ["dangling"], ["unused-input"],
+          ["arity"], ["opcode"], ["no-output"], ["syntax"] *)
+  net : string;  (** the offending net; [""] when none applies *)
+  line : int;  (** 1-based source line; 0 when unknown *)
+  message : string;
+}
+
+(** Declaration-level view of a [.bench]-style netlist, in file order. *)
+type decl =
+  | D_input of { line : int; name : string }
+  | D_output of { line : int; name : string }
+  | D_gate of { line : int; name : string; kind : string; args : string list }
+
+val decls : decl list -> diagnostic list
+(** All diagnostics, in a stable order (per-declaration checks in file
+    order, then graph-level checks). Checks: duplicate definitions
+    (multiply-driven), references to undefined nets (undriven),
+    unknown gate opcodes, fanin arity violations, combinational loops
+    (each reported once with the full cycle named, self-loops
+    included), defined-but-unused nets (dangling fanout, warning), and
+    a missing-outputs warning. *)
+
+val circuit : Circuit.t -> diagnostic list
+(** Post-build checks: arity violations (defensive — the builder
+    enforces them), logic gates whose output goes nowhere (dangling,
+    warning) and primary inputs that drive nothing (warning). Loops
+    and duplicate names cannot exist in a built circuit. *)
+
+val errors : diagnostic list -> diagnostic list
+(** Just the [Error]-severity entries. *)
+
+val to_string : diagnostic -> string
+(** ["line 4: error [multiply-driven] net \"G7\": ..."] *)
+
+val summary : diagnostic list -> string
+(** All diagnostics joined with newlines, errors first. *)

@@ -42,6 +42,18 @@ let entry_path t k =
 
 let discard path = try Sys.remove path with Sys_error _ -> ()
 
+let corrupt_path path = Filename.remove_extension path ^ ".corrupt"
+
+let m_stale = Telemetry.Counter.make "runner.cache.stale"
+let m_quarantined = Telemetry.Counter.make "runner.cache.quarantined"
+
+(* A garbled entry is kept for postmortem under [<key>.corrupt] rather
+   than silently deleted; it still reads as a miss, and the rename
+   makes room for a fresh store under the same key. *)
+let quarantine path =
+  Telemetry.Counter.inc m_quarantined;
+  try Sys.rename path (corrupt_path path) with Sys_error _ -> discard path
+
 let find t k =
   let path = entry_path t k in
   match In_channel.with_open_bin path In_channel.input_all with
@@ -55,12 +67,18 @@ let find t k =
       | Some (Json.String s), Some (Json.String k'), Some v
         when s = file_schema && k' = k ->
         Some v
-      | _ ->
+      | Some (Json.String s), _, _ when s <> file_schema ->
+        (* well-formed entry from another cache format version: a
+           clean invalidation, not corruption *)
+        Telemetry.Counter.inc m_stale;
         discard path;
+        None
+      | _ ->
+        quarantine path;
         None)
     | Ok _ | Error _ ->
-      (* truncated or garbled entry: self-heal by dropping it *)
-      discard path;
+      (* truncated or garbled entry *)
+      quarantine path;
       None)
 
 let store t k v =
@@ -77,4 +95,14 @@ let store t k v =
                 ("value", v);
               ]));
       output_char oc '\n');
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  if Fault_inject.fires Fault_inject.Corrupt_cache ~key:k then begin
+    (* chaos hook: truncate the freshly written entry to half its size.
+       A strict prefix of a JSON object never parses, so the next
+       [find] must take the quarantine path (clobbering bytes instead
+       could accidentally leave valid JSON). *)
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    Unix.ftruncate fd (size / 2);
+    Unix.close fd
+  end

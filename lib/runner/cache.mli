@@ -8,10 +8,15 @@
     changed.
 
     Robustness over cleverness: every entry is one self-describing
-    JSON file written atomically (temp file + [rename]); a missing,
-    truncated or otherwise unparseable entry reads as a miss and the
-    damaged file is removed, so a crashed writer can never poison
-    later runs. *)
+    JSON file written atomically (temp file + [rename]), tagged with
+    the cache format version and its own key. A missing entry reads as
+    a miss. An entry written by a {e different} format version is
+    deleted (clean invalidation, counted as [runner.cache.stale]). A
+    truncated or otherwise garbled entry also reads as a miss but is
+    quarantined to [<key>.corrupt] for postmortem instead of silently
+    deleted (counted as [runner.cache.quarantined]), so a crashed
+    writer can never poison later runs and never destroys the evidence
+    either. *)
 
 type t
 
@@ -34,10 +39,16 @@ val entry_path : t -> string -> string
 (** Where the entry for a key lives (two-level fan-out by key prefix).
     Exposed for tests and debugging; the file may not exist. *)
 
+val corrupt_path : string -> string
+(** Where {!find} quarantines a garbled entry file: the entry path
+    with its extension replaced by [.corrupt]. *)
+
 val find : t -> string -> Telemetry.Json.t option
-(** The stored value, or [None] on a miss. A corrupt entry (bad JSON,
-    wrong schema, key mismatch) is deleted and reported as a miss. *)
+(** The stored value, or [None] on a miss. A well-formed entry with a
+    foreign schema version is deleted (stale); a corrupt entry (bad
+    JSON, key mismatch, truncation) is renamed to {!corrupt_path} and
+    reported as a miss. *)
 
 val store : t -> string -> Telemetry.Json.t -> unit
 (** Atomically persist a value under a key, overwriting any previous
-    entry. *)
+    entry. Honours the [Corrupt_cache] {!Fault_inject} site. *)

@@ -1,0 +1,120 @@
+type site =
+  | Child_crash
+  | Child_exit
+  | Child_hang
+  | Truncated_write
+  | Corrupt_cache
+  | Atpg_abort
+
+let all_sites =
+  [ Child_crash; Child_exit; Child_hang; Truncated_write; Corrupt_cache;
+    Atpg_abort ]
+
+let site_to_string = function
+  | Child_crash -> "crash"
+  | Child_exit -> "exit"
+  | Child_hang -> "hang"
+  | Truncated_write -> "truncate"
+  | Corrupt_cache -> "corrupt"
+  | Atpg_abort -> "atpg_abort"
+
+let site_of_string = function
+  | "crash" -> Some Child_crash
+  | "exit" -> Some Child_exit
+  | "hang" -> Some Child_hang
+  | "truncate" -> Some Truncated_write
+  | "corrupt" -> Some Corrupt_cache
+  | "atpg_abort" -> Some Atpg_abort
+  | _ -> None
+
+type t = { seed : int; rates : (site * float) list }
+
+let none = { seed = 0; rates = [] }
+
+let rate t site =
+  match List.assoc_opt site t.rates with Some r -> r | None -> 0.0
+
+let of_spec s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok { acc with rates = List.rev acc.rates }
+    | p :: rest -> (
+      match String.index_opt p '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" p)
+      | Some eq -> (
+        let k = String.trim (String.sub p 0 eq) in
+        let v = String.trim (String.sub p (eq + 1) (String.length p - eq - 1)) in
+        if k = "seed" then
+          match int_of_string_opt v with
+          | Some seed -> go { acc with seed } rest
+          | None -> Error (Printf.sprintf "invalid seed %S" v)
+        else
+          match site_of_string k with
+          | None -> Error (Printf.sprintf "unknown fault site %S" k)
+          | Some site -> (
+            match float_of_string_opt v with
+            | Some r when r >= 0.0 && r <= 1.0 ->
+              go { acc with rates = (site, r) :: acc.rates } rest
+            | _ -> Error (Printf.sprintf "rate for %s must be in [0,1], got %S" k v)
+            )))
+  in
+  go none parts
+
+let to_spec t =
+  String.concat ","
+    (Printf.sprintf "seed=%d" t.seed
+    :: List.filter_map
+         (fun (site, r) ->
+           if r = 0.0 then None
+           else Some (Printf.sprintf "%s=%g" (site_to_string site) r))
+         t.rates)
+
+let installed : t option ref = ref None
+let env_warned = ref false
+
+let set spec = installed := spec
+
+let with_spec spec f =
+  let prev = !installed in
+  installed := spec;
+  Fun.protect ~finally:(fun () -> installed := prev) f
+
+let activate_from_env () =
+  match Sys.getenv_opt "SCANPOWER_FAULT_INJECT" with
+  | None | Some "" -> ()
+  | Some s -> (
+    match of_spec s with
+    | Ok t -> installed := Some t
+    | Error e ->
+      if not !env_warned then begin
+        env_warned := true;
+        Printf.eprintf "scanpower: ignoring invalid SCANPOWER_FAULT_INJECT: %s\n%!" e
+      end)
+
+let current () = !installed
+
+let active () = !installed <> None
+
+(* first 13 hex digits of the MD5 → uniform-ish float in [0,1) *)
+let roll01 s =
+  let hex = Digest.to_hex (Digest.string s) in
+  let v = Int64.of_string ("0x" ^ String.sub hex 0 13) in
+  Int64.to_float v /. 4503599627370496.0 (* 16^13 *)
+
+let fired_counter site =
+  Telemetry.Counter.make ("fault_inject.fired." ^ site_to_string site)
+
+let fires site ~key =
+  match !installed with
+  | None -> false
+  | Some t ->
+    let r = rate t site in
+    r > 0.0
+    && roll01 (Printf.sprintf "%d|%s|%s" t.seed (site_to_string site) key) < r
+    && begin
+         Telemetry.Counter.inc (fired_counter site);
+         true
+       end

@@ -1,0 +1,62 @@
+(** Deterministic, seedable fault injection for the runner stack.
+
+    Each {!site} names one failure the pool must recover from. Whether
+    a given site fires for a given key is a pure function of the spec
+    seed, the site and the key (an MD5 roll compared against the
+    site's rate), so a chaos run is exactly reproducible — and because
+    callers put the attempt number into the key, a fault with rate
+    [< 1.0] eventually lets a retry through.
+
+    Injection is off unless a spec is installed: programmatically with
+    {!set} / {!with_spec} (tests), or from the
+    [SCANPOWER_FAULT_INJECT] environment variable once {!activate_from_env}
+    is called (the CLI does; an invalid env spec is reported once on
+    stderr and ignored). Sites that fire increment
+    [fault_inject.fired.<site>] telemetry counters in the process where
+    they fire (child-side sites count in the child, so parent-side
+    metrics only reflect the {e recoveries}: retries, crashes,
+    timeouts). *)
+
+type site =
+  | Child_crash  (** worker SIGKILLs itself before running the job *)
+  | Child_exit  (** worker exits 3 before running the job *)
+  | Child_hang  (** worker sleeps past any timeout *)
+  | Truncated_write  (** worker writes only half its reply, then exits 0 *)
+  | Corrupt_cache  (** cache entry bytes are clobbered after the store *)
+  | Atpg_abort  (** the flow runs ATPG with backtrack limit 0 *)
+
+val all_sites : site list
+val site_to_string : site -> string
+
+type t = { seed : int; rates : (site * float) list }
+
+val none : t
+(** Seed 0, every rate 0. *)
+
+val rate : t -> site -> float
+
+val of_spec : string -> (t, string) result
+(** Parse ["seed=7,crash=0.3,exit=0.1,hang=0.1,truncate=0.2,corrupt=0.5,atpg_abort=0"].
+    Every field optional; unknown keys and out-of-range rates are
+    errors. *)
+
+val to_spec : t -> string
+(** Inverse of {!of_spec} (omits zero rates). *)
+
+val set : t option -> unit
+(** Install ([Some]) or remove ([None]) the process-global spec. *)
+
+val with_spec : t option -> (unit -> 'a) -> 'a
+(** Scoped {!set}, restoring the previous spec afterwards. *)
+
+val activate_from_env : unit -> unit
+(** Install the spec from [SCANPOWER_FAULT_INJECT] if the variable is
+    set, non-empty and valid; otherwise leave the current spec alone. *)
+
+val current : unit -> t option
+
+val active : unit -> bool
+
+val fires : site -> key:string -> bool
+(** Deterministic roll for this site and key under the current spec;
+    always [false] when no spec is installed. *)

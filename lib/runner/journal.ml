@@ -1,0 +1,90 @@
+module Json = Telemetry.Json
+
+let file_schema = "scanpower.journal/1"
+
+type t = {
+  path : string;
+  oc : out_channel;
+  entries : (string, Json.t option) Hashtbl.t;
+      (* key -> Some blob (ok) | None (failed) *)
+}
+
+let header meta =
+  Json.Obj [ ("schema", Json.String file_schema); ("meta", meta) ]
+
+(* Existing entries when the file belongs to the same batch; None when
+   there is no usable journal to resume. A torn final line (SIGKILL
+   mid-append) just ends the scan. *)
+let load path meta =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | raw -> (
+    match String.split_on_char '\n' raw with
+    | [] -> None
+    | first :: rest -> (
+      match Json.of_string (String.trim first) with
+      | Ok hdr when Json.to_string hdr = Json.to_string (header meta) ->
+        let entries = Hashtbl.create 64 in
+        let rec go = function
+          | [] -> ()
+          | line :: rest -> (
+            match Json.of_string (String.trim line) with
+            | Ok obj -> (
+              match (Json.member "key" obj, Json.member "status" obj) with
+              | Some (Json.String key), Some (Json.String "ok") ->
+                Hashtbl.replace entries key (Json.member "blob" obj);
+                go rest
+              | Some (Json.String key), Some (Json.String "failed") ->
+                Hashtbl.replace entries key None;
+                go rest
+              | _ -> () (* malformed record: stop trusting the tail *))
+            | Error _ when String.trim line = "" -> go rest
+            | Error _ -> () (* torn trailing line *))
+        in
+        go rest;
+        (* [None] markers for failed-only keys stay: find treats them
+           as absent, but they document the failure in the file *)
+        Some entries
+      | _ -> None))
+
+let open_ ~path ~meta ~resume =
+  let loaded = if resume then load path meta else None in
+  match loaded with
+  | Some entries ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    { path; oc; entries }
+  | None ->
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+    output_string oc (Json.to_string (header meta) ^ "\n");
+    flush oc;
+    { path; oc; entries = Hashtbl.create 64 }
+
+let path t = t.path
+
+let find t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some (Some blob) -> Some blob
+  | Some None | None -> None
+
+let completed t =
+  Hashtbl.fold (fun _ v n -> match v with Some _ -> n + 1 | None -> n) t.entries 0
+
+let append t obj =
+  output_string t.oc (Json.to_string obj ^ "\n");
+  flush t.oc
+
+let record_done t ~key blob =
+  Hashtbl.replace t.entries key (Some blob);
+  append t
+    (Json.Obj
+       [ ("key", Json.String key); ("status", Json.String "ok");
+         ("blob", blob) ])
+
+let record_failed t ~key error =
+  Hashtbl.replace t.entries key None;
+  append t
+    (Json.Obj
+       [ ("key", Json.String key); ("status", Json.String "failed");
+         ("error", Json.String error) ])
+
+let close t = try close_out t.oc with Sys_error _ -> ()

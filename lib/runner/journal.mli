@@ -1,0 +1,39 @@
+(** Checkpoint journal: a JSON-lines file recording the outcome of
+    every finished job so a killed batch can resume without recomputing
+    completed work.
+
+    The first line is a header carrying a schema tag and the caller's
+    [meta] value (which must fully identify the batch — e.g. a digest
+    of all job keys plus the result schema version). Each subsequent
+    line records one job: [{"key":…,"status":"ok","blob":…}] or
+    [{"key":…,"status":"failed","error":…}]. Lines are flushed as they
+    are written, so after a SIGKILL the file is intact up to possibly
+    one torn final line, which {!open_} silently ignores.
+
+    On {!open_} with [resume = true], an existing file whose header
+    meta matches is loaded (completed entries become {!find} hits and
+    appends continue at the end); a missing file, foreign meta or
+    unreadable header starts a fresh journal. With [resume = false]
+    any existing file is truncated. *)
+
+type t
+
+val open_ : path:string -> meta:Telemetry.Json.t -> resume:bool -> t
+(** @raise Sys_error if the file cannot be created or read. *)
+
+val path : t -> string
+
+val find : t -> string -> Telemetry.Json.t option
+(** The blob of a key recorded as [ok] in the loaded (resumed) portion
+    or appended since. A key whose latest record is [failed] is absent. *)
+
+val completed : t -> int
+(** Number of distinct keys currently recorded as [ok]. *)
+
+val record_done : t -> key:string -> Telemetry.Json.t -> unit
+
+val record_failed : t -> key:string -> string -> unit
+(** Recorded so a resume knows the job still needs work (and why it
+    failed last time). *)
+
+val close : t -> unit

@@ -1,7 +1,7 @@
 (** Parallel job runner: fan a batch of independent jobs out over a
     pool of forked worker processes, with a content-addressed result
-    cache, per-job timeout and retry, and crash isolation — a worker
-    dying on one job never takes the batch down.
+    cache, a checkpoint journal, per-job timeout and retry, and crash
+    isolation — a worker dying on one job never takes the batch down.
 
     The unit of work is a {!job}: an id, an optional cache key, and a
     closure producing a JSON value. With [jobs > 1] each attempt runs
@@ -13,23 +13,48 @@
     worker, length-unbounded (the parent drains pipes with [select]
     while workers run, so a large result cannot deadlock the pool).
 
+    Resilience knobs, all defaulting to the forgiving PR-2 behaviour:
+    retries wait [backoff_s * 2^(attempt-1)] (capped at
+    [backoff_max_s]) scaled by a deterministic per-(job, attempt)
+    jitter in [0.5, 1.0); [deadline_s > 0] bounds the {e whole batch}
+    — when it expires, live workers are reaped and every unfinished
+    job fails with [Deadline_exceeded]; a job failing with the {e same}
+    failure string [poison_threshold] times in a row is quarantined
+    (failed with [quarantined = true], no further retries) instead of
+    burning the retry budget on a deterministic crasher; with
+    [handle_signals], SIGINT/SIGTERM reap all children and return the
+    partial results ([Interrupted] failures) instead of killing the
+    process, so callers can still flush a report.
+
     When a {!Cache.t} is supplied, jobs whose key hits are answered
     without spawning anything, and freshly computed values are stored
     on completion — so an identical re-run does zero recomputation.
+    A {!Journal.t} additionally records every finished job as a
+    flushed JSON line; on a resumed journal, recorded jobs are served
+    from it ({!stats}[.journal_hits]) before the cache is even
+    consulted, which is what gives [sweep --resume] restart-from-kill.
+
+    Chaos engineering: the worker paths honour the {!Fault_inject}
+    sites ([Child_crash], [Child_exit], [Child_hang],
+    [Truncated_write]; the cache honours [Corrupt_cache]) so every
+    recovery path above can be exercised deterministically in tests.
 
     Telemetry: with [capture_telemetry] each worker resets + enables
     telemetry around its job and ships the resulting metrics snapshot
     (span tree, counters) back beside the value; pool-level counts are
     mirrored into the process-wide telemetry counters
     ([runner.jobs.scheduled], [runner.jobs.computed],
-    [runner.cache.hit], [runner.cache.miss], [runner.worker.crash],
-    [runner.worker.timeout], [runner.retry], [runner.jobs.failed])
-    when telemetry is enabled. In sequential mode the capture
-    necessarily resets the {e global} telemetry state around every
-    job; callers that interleave their own spans with a sequential
-    captured run should expect them to be cleared. *)
+    [runner.cache.hit], [runner.cache.miss], [runner.journal.hit],
+    [runner.worker.crash], [runner.worker.timeout],
+    [runner.worker.quarantined], [runner.retry], [runner.jobs.failed],
+    [runner.interrupted]) when telemetry is enabled. In sequential
+    mode the capture necessarily resets the {e global} telemetry state
+    around every job; callers that interleave their own spans with a
+    sequential captured run should expect them to be cleared. *)
 
 module Cache : module type of Cache
+module Fault_inject : module type of Fault_inject
+module Journal : module type of Journal
 
 type job = {
   id : string;  (** for events and reports; need not be unique *)
@@ -43,6 +68,8 @@ type failure =
   | Crashed of string  (** worker died: signal, nonzero exit, garbled reply *)
   | Timed_out
   | Job_error of string  (** the closure raised *)
+  | Interrupted  (** batch stopped by SIGINT/SIGTERM before this job finished *)
+  | Deadline_exceeded  (** batch deadline expired before this job finished *)
 
 val failure_to_string : failure -> string
 
@@ -52,11 +79,16 @@ type outcome =
       telemetry : Telemetry.Json.t option;
           (** the worker's metrics snapshot (or the one stored beside
               a cached value) when capture is on *)
-      from_cache : bool;
-      attempts : int;  (** 0 when served from cache *)
+      from_cache : bool;  (** served by the cache or the journal *)
+      attempts : int;  (** 0 when served from cache/journal *)
       duration_s : float;  (** wall clock of the successful attempt *)
     }
-  | Failed of { attempts : int; last : failure }
+  | Failed of {
+      attempts : int;
+      last : failure;
+      quarantined : bool;
+          (** stopped by poison detection rather than retry exhaustion *)
+    }
 
 type result = { job : job; outcome : outcome }
 
@@ -75,11 +107,14 @@ type stats = {
   scheduled : int;  (** total jobs submitted *)
   cache_hits : int;
   cache_misses : int;  (** jobs that had a key but no entry *)
+  journal_hits : int;  (** jobs served from a resumed checkpoint journal *)
   computed : int;  (** attempts that produced a value *)
   crashes : int;
   timeouts : int;
   retries : int;
+  quarantined : int;  (** jobs stopped by poison detection *)
   failed : int;  (** jobs with no value after all attempts *)
+  interrupted : bool;  (** the batch was cut short by SIGINT/SIGTERM *)
 }
 
 val stats_to_json : stats -> Telemetry.Json.t
@@ -88,14 +123,28 @@ type config = {
   jobs : int;  (** max concurrent workers; [<= 1] = in-process *)
   timeout_s : float;  (** per attempt; [<= 0] = none (forked mode only) *)
   retries : int;  (** extra attempts after the first *)
+  backoff_s : float;
+      (** base retry delay; [<= 0] = retry immediately (the default) *)
+  backoff_max_s : float;  (** cap on the exponential backoff *)
+  deadline_s : float;  (** whole-batch budget; [<= 0] = none *)
+  poison_threshold : int;
+      (** consecutive identical failures before quarantine; [<= 0] = off *)
+  handle_signals : bool;
+      (** catch SIGINT/SIGTERM, reap children, return partial results *)
   cache : Cache.t option;
+  journal : Journal.t option;
   capture_telemetry : bool;
   on_event : event -> unit;  (** called in the parent, in scheduling order *)
 }
 
 val default_config : config
-(** [jobs = 1], no timeout, [retries = 1], no cache, no capture,
-    events ignored. *)
+(** [jobs = 1], no timeout, [retries = 1], no backoff, no deadline,
+    [poison_threshold = 3], signals not handled, no cache, no journal,
+    no capture, events ignored. *)
+
+val retry_delay_s : config -> id:string -> attempt:int -> float
+(** The exact delay inserted before the retry that follows failed
+    [attempt] of job [id] — deterministic, exposed for tests. *)
 
 val run : ?config:config -> job list -> result list * stats
 (** Run every job; results come back in submission order regardless of

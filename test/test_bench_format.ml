@@ -31,26 +31,88 @@ let contains ~needle hay =
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
   needle = "" || go 0
 
-let expect_parse_error ?(substring = "") text () =
+module E = Scanpower_errors
+
+let expect_error ?(substring = "") text () =
   match Bench_parser.parse_string text with
-  | exception Bench_parser.Parse_error (_, msg) ->
+  | exception E.Error e ->
     Alcotest.(check bool)
-      (Printf.sprintf "message %S contains %S" msg substring)
+      (Printf.sprintf "message %S contains %S" e.E.message substring)
       true
-      (contains ~needle:substring msg)
-  | _ -> Alcotest.fail "expected Parse_error"
+      (contains ~needle:substring e.E.message);
+    e
+  | _ -> Alcotest.fail "expected Scanpower_errors.Error"
+
+let expect_parse_error ?substring text () = ignore (expect_error ?substring text ())
 
 let check_undefined_signal =
   expect_parse_error ~substring:"undefined" "INPUT(a)\ny = NOT(zz)\nOUTPUT(y)\n"
 
 let check_double_definition =
-  expect_parse_error ~substring:"twice" "INPUT(a)\na = NOT(a)\n"
+  expect_parse_error ~substring:"driven again" "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n"
 
 let check_unknown_gate =
-  expect_parse_error ~substring:"unknown gate" "INPUT(a)\ny = FOO(a)\n"
+  expect_parse_error ~substring:"unknown gate" "INPUT(a)\ny = FOO(a)\nOUTPUT(y)\n"
 
 let check_bad_arity =
-  expect_parse_error "INPUT(a)\ny = NAND(a)\nOUTPUT(y)\n"
+  expect_parse_error ~substring:"input(s)" "INPUT(a)\ny = NAND(a)\nOUTPUT(y)\n"
+
+(* ---- structured-error satellites: location + token + exit class ---- *)
+
+let check_truncated_file_location () =
+  let e = expect_error ~substring:"truncated" "INPUT(a)\nOUTPUT(y)\ny = NAND(a\n" () in
+  Alcotest.(check string) "code" "parse" (E.code_to_string e.E.code);
+  Alcotest.(check int) "exit code" 3 (E.exit_code e.E.code);
+  (match e.E.loc with
+  | Some l -> Alcotest.(check int) "line" 3 l.E.line
+  | None -> Alcotest.fail "expected a location");
+  Alcotest.(check (option string)) "token" (Some "NAND(a") e.E.token
+
+let check_bad_arity_location () =
+  let e = expect_error "INPUT(a)\ny = NAND(a)\nOUTPUT(y)\n" () in
+  Alcotest.(check string) "code" "validation" (E.code_to_string e.E.code);
+  (match e.E.loc with
+  | Some l -> Alcotest.(check int) "line" 2 l.E.line
+  | None -> Alcotest.fail "expected a location");
+  Alcotest.(check (option string)) "token names the net" (Some "y") e.E.token
+
+let check_unknown_gate_token () =
+  let e = expect_error "INPUT(a)\ny = FOO(a)\nOUTPUT(y)\n" () in
+  Alcotest.(check (option string)) "token" (Some "y") e.E.token;
+  Alcotest.(check bool)
+    "message names the opcode" true
+    (contains ~needle:"FOO" e.E.message)
+
+let check_self_loop_rejected () =
+  let e = expect_error ~substring:"combinational loop"
+      "INPUT(a)\ny = NAND(a, y)\nOUTPUT(y)\n" ()
+  in
+  Alcotest.(check bool)
+    "cycle names the net" true
+    (contains ~needle:"y -> y" e.E.message)
+
+let check_all_diagnostics_reported () =
+  (* two independent problems in one file: the single raised error must
+     carry both, not just the first *)
+  let e =
+    expect_error "INPUT(a)\ny = NAND(a)\nz = FOO(a)\nOUTPUT(y)\nOUTPUT(z)\n" ()
+  in
+  Alcotest.(check bool) "arity reported" true (contains ~needle:"NAND" e.E.message);
+  Alcotest.(check bool) "opcode reported" true (contains ~needle:"FOO" e.E.message)
+
+let check_parse_file_missing () =
+  match Bench_parser.parse_file "/nonexistent/no_such.bench" with
+  | exception E.Error e ->
+    Alcotest.(check string) "code" "io" (E.code_to_string e.E.code);
+    Alcotest.(check int) "exit code" 4 (E.exit_code e.E.code)
+  | _ -> Alcotest.fail "expected an io error"
+
+let check_lint_does_not_raise () =
+  let diags = Bench_parser.lint "INPUT(a\ny = NAND(a)\nz = z2\n" in
+  Alcotest.(check bool) "several diagnostics" true (List.length diags >= 2);
+  Alcotest.(check bool)
+    "has a syntax diagnostic" true
+    (List.exists (fun d -> d.Validate.check = "syntax") diags)
 
 let check_roundtrip () =
   let c = Circuits.s27 () in
@@ -134,4 +196,17 @@ let suite =
     Alcotest.test_case "truncated line rejected" `Quick check_truncated_line;
     Alcotest.test_case "writer/parser roundtrip (generated)" `Quick
       check_roundtrip_generated;
+    Alcotest.test_case "truncated file: line/col/token" `Quick
+      check_truncated_file_location;
+    Alcotest.test_case "bad arity: location + token" `Quick
+      check_bad_arity_location;
+    Alcotest.test_case "unknown gate: token" `Quick check_unknown_gate_token;
+    Alcotest.test_case "self-loop rejected with cycle" `Quick
+      check_self_loop_rejected;
+    Alcotest.test_case "all diagnostics in one error" `Quick
+      check_all_diagnostics_reported;
+    Alcotest.test_case "missing file is an io error" `Quick
+      check_parse_file_missing;
+    Alcotest.test_case "lint collects without raising" `Quick
+      check_lint_does_not_raise;
   ]

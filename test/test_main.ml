@@ -31,4 +31,7 @@ let () =
       ("circuits", Test_circuits.suite);
       ("telemetry", Test_telemetry.suite);
       ("runner", Test_runner.suite);
+      ("errors", Test_errors.suite);
+      ("validate", Test_validate.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -48,11 +48,25 @@ let check_cache_corruption_recovery () =
       output_string oc "{\"schema\":\"scanpower.cache/1\",\"key\":\"");
   Alcotest.(check bool) "corrupt entry reads as a miss" true
     (Runner.Cache.find cache k = None);
-  Alcotest.(check bool) "corrupt entry was deleted" false (Sys.file_exists path);
+  Alcotest.(check bool) "corrupt entry no longer in the way" false
+    (Sys.file_exists path);
+  (* quarantined for post-mortem, not silently destroyed *)
+  Alcotest.(check bool) "corrupt bytes preserved" true
+    (Sys.file_exists (Runner.Cache.corrupt_path path));
   Runner.Cache.store cache k (Json.String "fresh");
-  match Runner.Cache.find cache k with
+  (match Runner.Cache.find cache k with
   | Some (Json.String "fresh") -> ()
-  | _ -> Alcotest.fail "store after recovery should hit again"
+  | _ -> Alcotest.fail "store after recovery should hit again");
+  (* an entry from an older schema is stale, not corrupt: removed
+     cleanly, nothing quarantined *)
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc
+        "{\"schema\":\"scanpower.cache/0\",\"key\":\"x\",\"value\":1}");
+  Sys.remove (Runner.Cache.corrupt_path path);
+  Alcotest.(check bool) "stale schema is a miss" true
+    (Runner.Cache.find cache k = None);
+  Alcotest.(check bool) "stale entry deleted, not quarantined" false
+    (Sys.file_exists (Runner.Cache.corrupt_path path))
 
 (* ------------------------------------------------------------------ *)
 (* pool                                                                *)

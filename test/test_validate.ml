@@ -1,0 +1,180 @@
+(* The netlist lint pass: every check, all-diagnostics collection (not
+   first-error), cycle naming, and the single-edit mutation property —
+   any one-decl corruption of a valid netlist is either still valid or
+   yields a diagnostic naming the edited net. *)
+
+open Netlist
+
+let lint = Bench_parser.lint
+
+let find check diags = List.filter (fun d -> d.Validate.check = check) diags
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  needle = "" || go 0
+
+let check_clean_netlists () =
+  Alcotest.(check int) "s27 lints clean" 0
+    (List.length (Validate.errors (lint Circuits.s27_bench_text)));
+  let c =
+    Circuits.generate
+      { Circuits.name = "v"; n_pi = 5; n_po = 3; n_ff = 4; n_gates = 40;
+        seed = 3 }
+  in
+  Alcotest.(check int) "generated netlist lints clean" 0
+    (List.length (Validate.errors (lint (Bench_writer.to_string c))))
+
+let check_all_collected () =
+  (* four independent problems; all four must come back at once *)
+  let text =
+    "INPUT(a)\n\
+     y = NAND(a)\n\
+     z = FROB(a)\n\
+     w = NOT(ghost)\n\
+     w = NOT(a)\n\
+     OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+  in
+  let diags = lint text in
+  Alcotest.(check int) "arity" 1 (List.length (find "arity" diags));
+  Alcotest.(check int) "opcode" 1 (List.length (find "opcode" diags));
+  Alcotest.(check int) "undriven" 1 (List.length (find "undriven" diags));
+  Alcotest.(check int) "multiply-driven" 1
+    (List.length (find "multiply-driven" diags))
+
+let check_cycle_named () =
+  let text =
+    "INPUT(x)\n\
+     a = NAND(x, b)\n\
+     b = NOT(c)\n\
+     c = NOT(a)\n\
+     OUTPUT(a)\n"
+  in
+  match find "combinational-loop" (lint text) with
+  | [ d ] ->
+    (* one back edge, the full cycle spelled out in order *)
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle named in %S" d.Validate.message)
+      true
+      (contains ~needle:"a -> b -> c -> a" d.Validate.message
+      || contains ~needle:"b -> c -> a -> b" d.Validate.message
+      || contains ~needle:"c -> a -> b -> c" d.Validate.message)
+  | ds ->
+    Alcotest.fail (Printf.sprintf "expected exactly one loop, got %d" (List.length ds))
+
+let check_dff_breaks_cycle () =
+  (* the same feedback through a flip-flop is legitimate sequential
+     logic, not a combinational loop *)
+  let text = "INPUT(x)\na = NAND(x, b)\nb = DFF(a)\nOUTPUT(a)\n" in
+  Alcotest.(check int) "no loop through a DFF" 0
+    (List.length (find "combinational-loop" (lint text)))
+
+let check_dangling_and_no_output () =
+  let diags = lint "INPUT(a)\ny = NOT(a)\n" in
+  Alcotest.(check int) "dangling warning" 1 (List.length (find "dangling" diags));
+  Alcotest.(check int) "no-output warning" 1
+    (List.length (find "no-output" diags));
+  Alcotest.(check int) "warnings are not errors" 0
+    (List.length (Validate.errors diags))
+
+let check_line_numbers () =
+  let diags = lint "INPUT(a)\n# comment\n\ny = NAND(a)\nOUTPUT(y)\n" in
+  match find "arity" diags with
+  | [ d ] -> Alcotest.(check int) "diagnostic points at the source line" 4 d.Validate.line
+  | _ -> Alcotest.fail "expected one arity diagnostic"
+
+(* ---- single-edit mutation property -------------------------------- *)
+
+(* A "single edit" rewrites exactly one gate declaration of a valid
+   netlist. Either the result is still a valid netlist (e.g. dropping
+   one input of a 3-input AND) or the lint output names the edited net
+   (as the diagnostic's net or inside its message). *)
+
+let base_text =
+  let c =
+    Circuits.generate
+      { Circuits.name = "mut"; n_pi = 6; n_po = 4; n_ff = 5; n_gates = 50;
+        seed = 17 }
+  in
+  Bench_writer.to_string c
+
+let split_decl line =
+  match String.index_opt line '=' with
+  | None -> None
+  | Some eq -> (
+    let lhs = String.trim (String.sub line 0 eq) in
+    let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+    match String.index_opt rhs '(' with
+    | None -> None
+    | Some lp when rhs.[String.length rhs - 1] = ')' ->
+      let kind = String.trim (String.sub rhs 0 lp) in
+      let args =
+        String.sub rhs (lp + 1) (String.length rhs - lp - 2)
+        |> String.split_on_char ','
+        |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+      in
+      Some (lhs, kind, args)
+    | Some _ -> None)
+
+let unsplit (lhs, kind, args) =
+  Printf.sprintf "%s = %s(%s)" lhs kind (String.concat ", " args)
+
+(* (line_choice, mutation_choice, arg_choice) -> (mutated text, edited net) *)
+let mutate (li, mi, ai) =
+  let lines = String.split_on_char '\n' base_text in
+  let decls =
+    List.filteri (fun _ l -> split_decl l <> None) lines
+    |> List.mapi (fun i l -> (i, l))
+  in
+  let _, line = List.nth decls (li mod List.length decls) in
+  let lhs, kind, args = Option.get (split_decl line) in
+  let nth_arg = List.nth args (ai mod List.length args) in
+  let replace_arg repl =
+    List.mapi (fun i a -> if i = ai mod List.length args then repl else a) args
+  in
+  let mutated, edited =
+    match mi mod 5 with
+    | 0 -> (Some (unsplit (lhs, kind, replace_arg "GHOST_NET")), "GHOST_NET")
+    | 1 -> (Some (line ^ "\n" ^ unsplit (lhs, kind, args)), lhs)
+    | 2 -> (Some (unsplit (lhs, "FROB", args)), lhs)
+    | 3 ->
+      let dropped = List.filteri (fun i _ -> i <> ai mod List.length args) args in
+      (Some (unsplit (lhs, kind, dropped)), lhs)
+    | _ -> (Some (unsplit (lhs, kind, replace_arg lhs)), lhs)
+  in
+  let text =
+    String.concat "\n"
+      (List.map (fun l -> if l = line then Option.get mutated else l) lines)
+  in
+  (text, edited, nth_arg)
+
+let prop_single_edit =
+  QCheck.Test.make ~name:"single-edit corruption is caught or harmless"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)))
+    (fun (li, mi, ai) ->
+      let text, edited, dropped_arg = mutate (li, mi, ai) in
+      match Validate.errors (lint text) with
+      | [] -> true (* still a valid netlist — e.g. AND arity 3 -> 2 *)
+      | errs ->
+        List.exists
+          (fun d ->
+            d.Validate.net = edited
+            || contains ~needle:edited d.Validate.message
+            (* dropping an arg can orphan the dropped net instead *)
+            || d.Validate.net = dropped_arg)
+          errs)
+
+let suite =
+  [
+    Alcotest.test_case "clean netlists lint clean" `Quick check_clean_netlists;
+    Alcotest.test_case "all diagnostics collected" `Quick check_all_collected;
+    Alcotest.test_case "combinational loop named" `Quick check_cycle_named;
+    Alcotest.test_case "dff breaks the cycle" `Quick check_dff_breaks_cycle;
+    Alcotest.test_case "dangling + no-output warnings" `Quick
+      check_dangling_and_no_output;
+    Alcotest.test_case "line numbers survive comments" `Quick check_line_numbers;
+    QCheck_alcotest.to_alcotest prop_single_edit;
+  ]
