@@ -531,6 +531,11 @@ let kernels () =
         | Some v -> v
         | None -> 0
       in
+      (* the per-pattern latency histogram accumulates across circuits;
+         reset so the percentiles below describe this circuit's timed
+         run only *)
+      let h_pattern = Telemetry.Histogram.make "atpg.fault_sim.pattern_s" in
+      Telemetry.Histogram.reset h_pattern;
       let (cpt_detected, _), fault_cpt_s =
         time (fun () ->
             Atpg.Fault_simulation.split ~machine:m_cpt c ~faults ~vectors)
@@ -540,6 +545,8 @@ let kernels () =
         | Some v -> v
         | None -> 0
       in
+      let pattern_p50 = Telemetry.Histogram.percentile h_pattern 0.5 in
+      let pattern_p99 = Telemetry.Histogram.percentile h_pattern 0.99 in
       if not was_enabled then Telemetry.disable ();
       if cone_detected <> cpt_detected then
         failwith (name ^ ": cone/cpt fault-sim detection mismatch");
@@ -575,6 +582,8 @@ let kernels () =
               ("fault_sim_cpt_s", Telemetry.Json.Float fault_cpt_s);
               ("fault_sim_speedup", Telemetry.Json.Float fault_speedup);
               ("fault_sim_events_s", Telemetry.Json.Float fault_events_s);
+              ("fault_sim_pattern_p50_s", Telemetry.Json.Float pattern_p50);
+              ("fault_sim_pattern_p99_s", Telemetry.Json.Float pattern_p99);
               ("faults", Telemetry.Json.Int (List.length faults));
               ("faults_detected", Telemetry.Json.Int (List.length detected));
             ] )

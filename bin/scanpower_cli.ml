@@ -39,9 +39,16 @@ let seed_arg =
 
 (* ---- telemetry flags ---- *)
 
-(* Evaluates to the --metrics-out path after applying the side effects
-   (enable + level + trace file); commands call [finish_telemetry] on it
-   when their work is done. *)
+type tele_opts = {
+  metrics_out : string option;
+  chrome_out : string option;
+      (* --trace FILE with --trace-format=chrome: written at the end,
+         once worker snapshots have been collected *)
+}
+
+(* Evaluates to the output paths after applying the side effects
+   (enable + level + streaming trace file); commands call
+   [finish_telemetry] on the result when their work is done. *)
 let telemetry_term =
   let log_level =
     let doc =
@@ -53,20 +60,34 @@ let telemetry_term =
   in
   let trace =
     let doc =
-      "Enable telemetry and append a JSON-lines trace (span starts/ends, log \
-       records) to $(docv)."
+      "Enable telemetry and write a trace to $(docv); the format is chosen \
+       by $(b,--trace-format)."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_format =
+    let doc =
+      "Trace format: $(b,jsonl) (streaming JSON lines: one object per log \
+       record, span start and span end, default) or $(b,chrome) (Trace \
+       Event JSON written when the command finishes, loadable in \
+       ui.perfetto.dev or chrome://tracing; sweep worker processes appear \
+       as their own tracks)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
   in
   let metrics =
     let doc =
       "Enable telemetry and write a single-shot JSON metrics snapshot \
-       (counters, gauges, span tree) to $(docv) when the command finishes."
+       (counters, gauges, histograms, span tree) to $(docv) when the command \
+       finishes."
     in
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let setup lvl trace metrics =
+  let setup lvl trace trace_format metrics =
     let* () =
       match lvl with
       | None -> Ok ()
@@ -76,26 +97,40 @@ let telemetry_term =
         Telemetry.set_level l;
         Ok ()
     in
-    (match trace with
-    | None -> ()
-    | Some path ->
-      Telemetry.enable ();
-      Telemetry.set_trace_file path);
+    let chrome_out =
+      match (trace, trace_format) with
+      | None, _ -> None
+      | Some path, `Jsonl ->
+        Telemetry.enable ();
+        Telemetry.set_trace_file path;
+        None
+      | Some path, `Chrome ->
+        Telemetry.enable ();
+        Some path
+    in
     if metrics <> None then Telemetry.enable ();
-    Ok metrics
+    Ok { metrics_out = metrics; chrome_out }
   in
-  Term.(const setup $ log_level $ trace $ metrics)
+  Term.(const setup $ log_level $ trace $ trace_format $ metrics)
 
-let finish_telemetry metrics_out =
+let finish_telemetry { metrics_out; chrome_out } =
+  let write what path write_fn =
+    try
+      write_fn path;
+      Format.eprintf "telemetry %s written to %s@." what path;
+      Ok ()
+    with Sys_error e ->
+      Error (`Msg (Printf.sprintf "cannot write %s: %s" what e))
+  in
   let written =
-    match metrics_out with
+    let* () =
+      match metrics_out with
+      | None -> Ok ()
+      | Some path -> write "metrics" path Telemetry.write_metrics
+    in
+    match chrome_out with
     | None -> Ok ()
-    | Some path -> (
-      try
-        Telemetry.write_metrics path;
-        Format.eprintf "telemetry metrics written to %s@." path;
-        Ok ()
-      with Sys_error e -> Error (`Msg (Printf.sprintf "cannot write metrics: %s" e)))
+    | Some path -> write "chrome trace" path Telemetry.write_chrome
   in
   Telemetry.close_trace ();
   written
@@ -270,7 +305,7 @@ let power_cmd =
 (* ---- profile ---- *)
 
 let profile_cmd =
-  let run spec seed tele =
+  let run spec seed top tele =
     let* metrics_out = tele in
     let* c = load_circuit spec in
     (* telemetry is the whole point of this command *)
@@ -283,7 +318,10 @@ let profile_cmd =
       cmp.Scanpower.Flow.name cmp.Scanpower.Flow.n_vectors
       cmp.Scanpower.Flow.n_dffs elapsed;
     (match Telemetry.Span.find "flow.run_benchmark" with
-    | Some root -> Telemetry.Span.pp_tree Format.std_formatter root
+    | Some root ->
+      Telemetry.Span.pp_tree Format.std_formatter root;
+      Format.printf "@.";
+      Telemetry.Span.pp_profile ?top Format.std_formatter root
     | None -> Format.printf "(no span tree recorded)@.");
     Format.printf "@.counters:@.";
     List.iter
@@ -296,13 +334,23 @@ let profile_cmd =
       List.iter (fun (k, v) -> Format.printf "  %-42s %10.1f@." k v) gauges);
     finish_telemetry metrics_out
   in
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Limit the aggregated per-stage table to its $(docv) most \
+             expensive rows (the table is sorted by time, descending).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Run the full flow with telemetry on and print the span tree (wall \
-          time and per-phase percentage) plus every counter; use \
-          --metrics-out to capture the same data as JSON.")
-    Term.(term_result (const run $ circuit_arg $ seed_arg $ telemetry_term))
+          time and per-phase percentage), an aggregated per-stage table with \
+          GC/allocation columns, and every counter; use --metrics-out to \
+          capture the same data as JSON.")
+    Term.(term_result (const run $ circuit_arg $ seed_arg $ top $ telemetry_term))
 
 (* ---- paths ---- *)
 
@@ -498,7 +546,7 @@ let validate_cmd =
 
 let sweep_cmd =
   let run names jobs seeds timeout retries backoff deadline no_cache cache_dir
-      journal resume out csv tele =
+      journal resume out csv progress tele =
     let* metrics_out = tele in
     let names = if names = [] then Circuits.names else names in
     let* circuits =
@@ -552,11 +600,28 @@ let sweep_cmd =
             (Runner.failure_to_string last));
         Format.pp_print_flush Format.std_formatter ()
     in
+    (* the subscription lives exactly as long as the run: a later
+       command in the same process must not inherit it *)
+    let stop_progress =
+      match progress with
+      | None -> fun () -> ()
+      | Some path ->
+        (* the ETA comes from the job-latency histogram, which only
+           records while telemetry is on *)
+        Telemetry.enable ();
+        let oc = if path = "-" then stderr else open_out path in
+        let sub = Telemetry.Events.subscribe (Telemetry.Events.line_writer oc) in
+        fun () ->
+          Telemetry.Events.unsubscribe sub;
+          flush oc;
+          if path <> "-" then close_out oc
+    in
     let t0 = Unix.gettimeofday () in
     let report =
-      Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries ~backoff_s:backoff
-        ~deadline_s:deadline ~handle_signals:true ?cache ?journal_path:journal
-        ~resume ~on_event points
+      Fun.protect ~finally:stop_progress (fun () ->
+          Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries
+            ~backoff_s:backoff ~deadline_s:deadline ~handle_signals:true ?cache
+            ?journal_path:journal ~resume ~on_event points)
     in
     let wall = Unix.gettimeofday () -. t0 in
     Format.printf "@.";
@@ -699,6 +764,17 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Write the per-job CSV report here.")
   in
+  let progress =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "progress" ] ~docv:"FILE"
+          ~doc:
+            "Stream line-delimited JSON progress events (job \
+             started/finished/retried, cache hits, completed/total counts \
+             and a latency-histogram ETA) to $(docv); $(b,-) streams to \
+             stderr.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -711,7 +787,77 @@ let sweep_cmd =
       term_result
         (const run $ names $ jobs $ seeds $ timeout $ retries $ backoff
        $ deadline $ no_cache $ cache_dir $ journal $ resume $ out $ csv
-       $ telemetry_term))
+       $ progress $ telemetry_term))
+
+(* ---- bench-diff ---- *)
+
+let bench_diff_cmd =
+  let module D = Scanpower.Bench_diff in
+  let run old_path new_path time_threshold rate_threshold json_out =
+    let baseline = D.load old_path in
+    let current = D.load new_path in
+    let r = D.diff ~time_threshold ~rate_threshold baseline current in
+    D.pp_report Format.std_formatter r;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc (Telemetry.Json.to_string (D.report_to_json r));
+          output_char oc '\n');
+      Format.printf "JSON diff written to %s@." path);
+    if D.has_regression r then
+      E.errorf ~code:E.Regression ~stage:"bench-diff"
+        "%d regression(s) against %s"
+        (List.length r.D.regressions + List.length r.D.only_old_metrics)
+        old_path
+    else Ok ()
+  in
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline BENCH_kernels.json.")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate BENCH_kernels.json to gate.")
+  in
+  let time_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "time-threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Allowed fractional slowdown for $(b,_s) time metrics before \
+             they count as a regression (default 0.5 = +50%). CI across \
+             machine generations passes a wider value.")
+  in
+  let rate_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "rate-threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Allowed fractional drop for $(b,_speedup)/$(b,_events_s) rate \
+             metrics (default 0.5 = -50%).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the diff as JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_kernels.json files as a regression gate: counts \
+          must match exactly, times and rates get per-class noise \
+          thresholds. Exits 6 when anything regressed (or a baseline metric \
+          disappeared), 0 when clean.")
+    Term.(
+      term_result
+        (const run $ old_path $ new_path $ time_threshold $ rate_threshold
+       $ json_out))
 
 let main_cmd =
   let doc =
@@ -722,11 +868,12 @@ let main_cmd =
     (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
     [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
       profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd; validate_cmd;
-      sweep_cmd ]
+      sweep_cmd; bench_diff_cmd ]
 
 (* Exit codes (also documented in the README): 0 success, 2 usage,
-   3 parse/validation, 4 io/runtime, 5 partial batch; cmdliner itself
-   keeps 124 for command-line syntax it rejects before we run. *)
+   3 parse/validation, 4 io/runtime, 5 partial batch, 6 bench-diff
+   regression; cmdliner itself keeps 124 for command-line syntax it
+   rejects before we run. *)
 let () =
   Runner.Fault_inject.activate_from_env ();
   match Cmd.eval ~catch:false main_cmd with

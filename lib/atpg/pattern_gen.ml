@@ -31,6 +31,13 @@ let m_untestable = Telemetry.Counter.make "atpg.faults.untestable"
 let m_aborted = Telemetry.Counter.make "atpg.faults.aborted"
 let m_skipped = Telemetry.Counter.make "atpg.faults.skipped"
 
+(* PODEM keeps one process-wide backtrack counter; sampling it around
+   each [generate] call turns the aggregate into a per-fault
+   distribution (a fat p99 here is the signature of a redundant-logic
+   cluster eating the backtrack budget) *)
+let m_backtracks = Telemetry.Counter.make "atpg.podem.backtracks"
+let h_backtracks = Telemetry.Histogram.make "atpg.podem.backtracks_per_fault"
+
 type outcome = {
   vectors : bool array list;
   total_faults : int;
@@ -105,9 +112,17 @@ let generate ?(config = default_config) c =
         | _ when !budget <= 0 -> []
         | f :: rest ->
           decr budget;
-          (match
-             Podem.generate ?guide ~backtrack_limit:config.backtrack_limit c f
-           with
+          let bt0 =
+            if Telemetry.enabled () then Telemetry.Counter.get m_backtracks
+            else 0
+          in
+          let outcome =
+            Podem.generate ?guide ~backtrack_limit:config.backtrack_limit c f
+          in
+          if Telemetry.enabled () then
+            Telemetry.Histogram.observe h_backtracks
+              (float_of_int (Telemetry.Counter.get m_backtracks - bt0));
+          (match outcome with
           | Podem.Test cube ->
             cubes := cube :: !cubes;
             processed := f :: !processed;

@@ -247,15 +247,28 @@ let evaluate ?(engine = Scan.Scan_sim.Packed) ?(seed = 42) p =
     enhanced_scan = result_of enh;
   })
 
+let g_peak_heap = Telemetry.Gauge.make "flow.peak_heap_words"
+
+let record_peak_heap () =
+  if Telemetry.enabled () then
+    Telemetry.Gauge.observe_max g_peak_heap
+      (float_of_int (Gc.quick_stat ()).Gc.top_heap_words)
+
 let run_benchmark ?atpg_config ?engine ?seed c =
   Telemetry.Span.with_ ~name:"flow.run_benchmark"
     ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
-    (fun () -> evaluate ?engine ?seed (prepare ?atpg_config c))
+    (fun () ->
+      Fun.protect
+        ~finally:record_peak_heap
+        (fun () -> evaluate ?engine ?seed (prepare ?atpg_config c)))
 
 let run_benchmark_cached ?atpg_config ?engine ?seed c =
   Telemetry.Span.with_ ~name:"flow.run_benchmark"
     ~fields:[ ("circuit", Telemetry.Json.String (Netlist.Circuit.name c)) ]
-    (fun () -> evaluate ?engine ?seed (prepare_cached ?atpg_config c))
+    (fun () ->
+      Fun.protect
+        ~finally:record_peak_heap
+        (fun () -> evaluate ?engine ?seed (prepare_cached ?atpg_config c)))
 
 (* [base = 0] admits no percentage: returning 0.0 there made a
    regression from a zero baseline read as "no change", so it now

@@ -183,10 +183,76 @@ let journal_meta points =
        Json.String (Digest.to_hex (Digest.string (String.concat "\n" keys))));
     ]
 
+(* ETA from the pool's observed job-latency distribution: the p50 is
+   robust to one straggler circuit, and dividing by the worker count
+   assumes the remaining jobs keep all lanes busy — optimistic near the
+   tail, but it converges as the batch drains. *)
+let eta_s ~jobs ~remaining =
+  match Telemetry.Histogram.find "runner.job_s" with
+  | Some s when s.Telemetry.Histogram.s_count > 0 ->
+    [
+      ( "eta_s",
+        Json.Float
+          (s.Telemetry.Histogram.p50 *. float_of_int remaining
+          /. float_of_int (max 1 jobs)) );
+    ]
+  | _ -> []
+
+let progress_events ~jobs ~total inner =
+  let completed = ref 0 in
+  let emit name (job : Runner.job) extra =
+    if Telemetry.Events.has_subscribers () then
+      Telemetry.Events.emit name
+        ([
+           ("job", Json.String job.Runner.id);
+           ("completed", Json.Int !completed);
+           ("total", Json.Int total);
+         ]
+        @ eta_s ~jobs ~remaining:(total - !completed)
+        @ extra)
+  in
+  fun (ev : Runner.event) ->
+    (match ev with
+    | Runner.Started { job; attempt } ->
+      emit "sweep.job_started" job [ ("attempt", Json.Int attempt) ]
+    | Runner.Attempt_failed { job; attempt; failure; will_retry } ->
+      emit
+        (if will_retry then "sweep.job_retried" else "sweep.job_attempt_failed")
+        job
+        [
+          ("attempt", Json.Int attempt);
+          ("failure", Json.String (Runner.failure_to_string failure));
+        ]
+    | Runner.Finished { job; outcome } ->
+      incr completed;
+      let name, extra =
+        match outcome with
+        | Runner.Done { from_cache = true; _ } ->
+          ("sweep.cache_hit", [ ("status", Json.String "ok") ])
+        | Runner.Done { duration_s; attempts; _ } ->
+          ( "sweep.job_finished",
+            [
+              ("status", Json.String "ok");
+              ("attempts", Json.Int attempts);
+              ("duration_s", Json.Float duration_s);
+            ] )
+        | Runner.Failed { last; attempts; quarantined } ->
+          ( "sweep.job_finished",
+            [
+              ("status", Json.String "failed");
+              ("attempts", Json.Int attempts);
+              ("quarantined", Json.Bool quarantined);
+              ("failure", Json.String (Runner.failure_to_string last));
+            ] )
+      in
+      emit name job extra);
+    inner ev
+
 let run ?(jobs = 1) ?(timeout_s = 0.0) ?(retries = 1) ?(backoff_s = 0.0)
     ?(deadline_s = 0.0) ?(poison_threshold = 3) ?(handle_signals = false)
     ?cache ?journal_path ?(resume = false) ?(capture_telemetry = true)
     ?(on_event = fun (_ : Runner.event) -> ()) points =
+  let on_event = progress_events ~jobs ~total:(List.length points) on_event in
   let journal =
     match journal_path with
     | None -> None

@@ -1,4 +1,4 @@
-type code = Usage | Parse | Validation | Io | Runtime | Partial
+type code = Usage | Parse | Validation | Io | Runtime | Partial | Regression
 
 let code_to_string = function
   | Usage -> "usage"
@@ -7,15 +7,18 @@ let code_to_string = function
   | Io -> "io"
   | Runtime -> "runtime"
   | Partial -> "partial"
+  | Regression -> "regression"
 
 (* Keep these in sync with the README troubleshooting table: 2 = bad
    invocation, 3 = bad input, 4 = the flow itself failed, 5 = a batch
-   finished with failures. Cmdliner owns 124 for flag-syntax errors. *)
+   finished with failures, 6 = a benchmark comparison found a
+   regression. Cmdliner owns 124 for flag-syntax errors. *)
 let exit_code = function
   | Usage -> 2
   | Parse | Validation -> 3
   | Io | Runtime -> 4
   | Partial -> 5
+  | Regression -> 6
 
 type location = { file : string option; line : int; column : int }
 

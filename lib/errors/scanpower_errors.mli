@@ -17,6 +17,7 @@ type code =
   | Io  (** file system / OS error around an input or output *)
   | Runtime  (** the flow itself failed (ATPG, simulation, pool misuse) *)
   | Partial  (** the batch finished but some jobs failed or were cut short *)
+  | Regression  (** [bench-diff] found a metric past its threshold *)
 
 val code_to_string : code -> string
 (** Lowercase tag: ["usage"], ["parse"], ... *)
@@ -24,8 +25,8 @@ val code_to_string : code -> string
 val exit_code : code -> int
 (** The documented process exit code for each class:
     [Usage] → 2, [Parse]/[Validation] → 3, [Io]/[Runtime] → 4,
-    [Partial] → 5. (0 is success; Cmdliner's own 124 covers command-line
-    syntax it rejects before we run.) *)
+    [Partial] → 5, [Regression] → 6. (0 is success; Cmdliner's own 124
+    covers command-line syntax it rejects before we run.) *)
 
 type location = {
   file : string option;  (** [None] for in-memory text *)

@@ -54,7 +54,9 @@ let quarantine path =
   Telemetry.Counter.inc m_quarantined;
   try Sys.rename path (corrupt_path path) with Sys_error _ -> discard path
 
-let find t k =
+let h_lookup = Telemetry.Histogram.make "runner.cache.lookup_s"
+
+let find_untimed t k =
   let path = entry_path t k in
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error _ -> None
@@ -80,6 +82,15 @@ let find t k =
       (* truncated or garbled entry *)
       quarantine path;
       None)
+
+let find t k =
+  if not (Telemetry.enabled ()) then find_untimed t k
+  else begin
+    let t0 = Telemetry.now () in
+    let result = find_untimed t k in
+    Telemetry.Histogram.observe h_lookup (Telemetry.now () -. t0);
+    result
+  end
 
 let store t k v =
   let path = entry_path t k in

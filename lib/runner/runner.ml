@@ -278,6 +278,8 @@ let mirror_to_telemetry s =
   if s.interrupted then
     add "runner.interrupted" 1
 
+let h_job = Telemetry.Histogram.make "runner.job_s"
+
 let cache_blob value telemetry =
   Json.Obj
     [
@@ -410,10 +412,20 @@ let run ?(config = default_config) job_list =
     (match cfg.journal with
     | Some j -> Journal.record_done j ~key:(journal_key jobs.(i)) blob
     | None -> ());
+    let duration_s = Unix.gettimeofday () -. started in
+    Telemetry.Histogram.observe h_job duration_s;
+    (* a freshly computed worker snapshot (shipped back over the result
+       pipe, pid included) joins the parent's Chrome trace as its own
+       process track; cache-served snapshots carry timestamps from an
+       earlier run and stay out *)
+    (match telemetry with
+    | Some snapshot when Telemetry.enabled () ->
+      Telemetry.Trace_export.register ~label:jobs.(i).id snapshot
+    | _ -> ());
     finished i
       (Done
          { value; telemetry; from_cache = false; attempts = attempt;
-           duration_s = Unix.gettimeofday () -. started })
+           duration_s })
   in
   (* consecutive identical-failure streaks, for poison detection *)
   let streaks : (int, string * int) Hashtbl.t = Hashtbl.create 16 in

@@ -41,8 +41,9 @@ let popcount (x : int64) =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
-let step t ~count ~record =
-  if count < 1 || count > 64 then invalid_arg "Packed_sim.step: bad lane count";
+let h_step = Telemetry.Histogram.make "sim.packed.step_s"
+
+let step_untimed t ~count ~record =
   Compiled.eval_words t.comp t.words;
   if record then Array.fill t.lane_toggles 0 64 0;
   let mask =
@@ -81,3 +82,12 @@ let step t ~count ~record =
     end;
     t.last.(id) <- Int64.logand (Int64.shift_right_logical w (count - 1)) 1L
   done
+
+let step t ~count ~record =
+  if count < 1 || count > 64 then invalid_arg "Packed_sim.step: bad lane count";
+  if not (Telemetry.enabled ()) then step_untimed t ~count ~record
+  else begin
+    let t0 = Telemetry.now () in
+    step_untimed t ~count ~record;
+    Telemetry.Histogram.observe h_step (Telemetry.now () -. t0)
+  end

@@ -1,0 +1,41 @@
+(* A tiny synchronous event bus. Emitters fire named records with
+   structured fields; subscribers (a progress-file writer, a future
+   daemon's client feed) receive them in subscription order on the
+   emitting thread. With no subscribers [emit] is one list test, so
+   instrumented code can emit unconditionally. *)
+
+type event = { ts : float; name : string; fields : (string * Json.t) list }
+
+type subscription = int
+
+let next_id = ref 0
+let subscribers : (int * (event -> unit)) list ref = ref []
+
+let subscribe fn =
+  incr next_id;
+  let id = !next_id in
+  subscribers := !subscribers @ [ (id, fn) ];
+  id
+
+let unsubscribe id =
+  subscribers := List.filter (fun (i, _) -> i <> id) !subscribers
+
+let has_subscribers () = !subscribers <> []
+
+let emit name fields =
+  match !subscribers with
+  | [] -> ()
+  | subs ->
+    let ev = { ts = Unix.gettimeofday (); name; fields } in
+    (* a broken subscriber (closed pipe, full disk) must not abort the
+       run it is observing *)
+    List.iter (fun (_, fn) -> try fn ev with _ -> ()) subs
+
+let to_json ev =
+  Json.Obj
+    (("ts", Json.Float ev.ts) :: ("event", Json.String ev.name) :: ev.fields)
+
+let line_writer oc ev =
+  output_string oc (Json.to_string (to_json ev));
+  output_char oc '\n';
+  flush oc

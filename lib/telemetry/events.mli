@@ -1,0 +1,31 @@
+(** Synchronous pub/sub for live progress records.
+
+    The sweep runner emits one event per job transition (started,
+    finished, retried, cache hit); a subscriber renders them — e.g.
+    {!line_writer} turns each into one JSON line for [--progress].
+    With no subscribers, {!emit} costs a single list test, so emitting
+    code needs no gating of its own. Subscriber exceptions are
+    swallowed: a closed pipe must not abort the run it observes. *)
+
+type event = {
+  ts : float;  (** [Unix.gettimeofday] at emission *)
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+type subscription
+
+val subscribe : (event -> unit) -> subscription
+(** Callbacks run synchronously on the emitting thread, in
+    subscription order. *)
+
+val unsubscribe : subscription -> unit
+val has_subscribers : unit -> bool
+
+val emit : string -> (string * Json.t) list -> unit
+
+val to_json : event -> Json.t
+(** [{"ts":..., "event":name, ...fields}]. *)
+
+val line_writer : out_channel -> event -> unit
+(** [to_json], one line, flushed — NDJSON suitable for tailing. *)

@@ -1,0 +1,141 @@
+(* Log-bucketed histograms. Buckets are geometric with ratio
+   2^(1/4) (~19% per bucket) starting at [lo]; that resolution is far
+   below the run-to-run noise of anything we time, so percentiles read
+   from bucket midpoints are as trustworthy as exact ones, while
+   [observe] stays allocation-free: one compare, one [log], one array
+   increment. The same shape works for counts (PODEM backtracks per
+   fault) because only ratios matter, not the unit. *)
+
+let lo = 1e-9
+let gamma = Float.pow 2.0 0.25
+let log_gamma = Float.log gamma
+let n_buckets = 200
+
+(* Mirrors the global telemetry switch; [Telemetry.enable]/[disable]
+   drive it (this module cannot see [Telemetry.on] without a cycle). *)
+let enabled = ref false
+let set_enabled b = enabled := b
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        name;
+        count = 0;
+        sum = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+        buckets = Array.make n_buckets 0;
+      }
+    in
+    Hashtbl.add registry name h;
+    h
+
+let bucket_of v =
+  if not (v > lo) then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log (v /. lo) /. log_gamma)) in
+    if i >= n_buckets then n_buckets - 1 else if i < 0 then 0 else i
+
+(* geometric midpoint of bucket [i]'s range *)
+let midpoint i =
+  if i = 0 then lo else lo *. Float.pow gamma (float_of_int i -. 0.5)
+
+let observe h v =
+  if !enabled && Float.is_finite v then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    let b = h.buckets in
+    let i = bucket_of v in
+    b.(i) <- b.(i) + 1
+  end
+
+let name h = h.name
+let count h = h.count
+
+type snapshot = {
+  s_name : string;
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(* Smallest observed value v such that at least [q]·count observations
+   are <= v, estimated by the bucket midpoint and clamped to the exact
+   observed range (which rescues the two degenerate buckets: underflow
+   at [lo] and overflow at the top). *)
+let percentile h q =
+  if h.count = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let rec walk i seen =
+      if i >= n_buckets then midpoint (n_buckets - 1)
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then midpoint i else walk (i + 1) seen
+    in
+    Float.min h.max_v (Float.max h.min_v (walk 0 0))
+  end
+
+let snapshot h =
+  {
+    s_name = h.name;
+    s_count = h.count;
+    s_sum = h.sum;
+    s_min = (if h.count = 0 then Float.nan else h.min_v);
+    s_max = (if h.count = 0 then Float.nan else h.max_v);
+    p50 = percentile h 0.50;
+    p90 = percentile h 0.90;
+    p99 = percentile h 0.99;
+  }
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.s_count);
+      ("sum", Json.Float s.s_sum);
+      ("min", Json.Float s.s_min);
+      ("max", Json.Float s.s_max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let find name = Option.map snapshot (Hashtbl.find_opt registry name)
+
+let all () =
+  Hashtbl.fold
+    (fun _ h acc -> if h.count > 0 then snapshot h :: acc else acc)
+    registry []
+  |> List.sort (fun a b -> String.compare a.s_name b.s_name)
+
+let reset h =
+  h.count <- 0;
+  h.sum <- 0.0;
+  h.min_v <- infinity;
+  h.max_v <- neg_infinity;
+  Array.fill h.buckets 0 n_buckets 0
+
+let reset_all () = Hashtbl.iter (fun _ h -> reset h) registry

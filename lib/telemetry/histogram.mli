@@ -1,0 +1,52 @@
+(** Log-bucketed histograms for latency/size distributions.
+
+    Geometric buckets (ratio [2^(1/4)], ~19% wide) from 1 ns up;
+    [observe] is allocation-free and dropped entirely while telemetry
+    is disabled, so hot kernels can record per-pattern timings without
+    steering the flow. Handles are registered process-wide by name,
+    like {!Telemetry.Counter}. *)
+
+type t
+
+val make : string -> t
+(** Idempotent by name: [make] on an existing name returns the
+    existing handle. *)
+
+val observe : t -> float -> unit
+(** Record one value (seconds, counts — any non-negative unit).
+    Dropped while telemetry is disabled; non-finite values are
+    ignored. *)
+
+val name : t -> string
+val count : t -> int
+
+type snapshot = {
+  s_name : string;
+  s_count : int;
+  s_sum : float;
+  s_min : float;  (** nan when empty *)
+  s_max : float;  (** nan when empty *)
+  p50 : float;  (** bucket-midpoint estimate, clamped to [min,max] *)
+  p90 : float;
+  p99 : float;
+}
+
+val snapshot : t -> snapshot
+val snapshot_to_json : snapshot -> Json.t
+(** Object with [count], [sum], [min], [max], [p50], [p90], [p99]
+    (non-finite floats serialize as [null]). *)
+
+val percentile : t -> float -> float
+(** [percentile h q] for [q] in [0,1]; nan when empty. *)
+
+val find : string -> snapshot option
+val all : unit -> snapshot list
+(** Snapshots of every histogram with at least one observation,
+    sorted by name. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit
+
+val set_enabled : bool -> unit
+(** Internal: mirrors the global telemetry switch. Driven by
+    [Telemetry.enable]/[disable]; do not call directly. *)

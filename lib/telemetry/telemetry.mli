@@ -1,7 +1,9 @@
 (** Zero-dependency observability for the scan-power flow: a levelled
-    structured logger, hierarchical wall-clock spans, a process-wide
-    counter/gauge registry, and exporters (human-readable text on
-    stderr, JSON-lines trace, single-shot JSON metrics snapshot).
+    structured logger, hierarchical wall-clock spans with GC/allocation
+    attribution, a process-wide counter/gauge/histogram registry, a
+    subscriber event bus, and exporters (human-readable text on
+    stderr, JSON-lines trace, Chrome/Perfetto trace, single-shot JSON
+    metrics snapshot).
 
     Everything is {e off by default}: with telemetry disabled every
     entry point reduces to a single flag test, so instrumented hot
@@ -11,6 +13,9 @@
     observes, it never steers. *)
 
 module Json = Json
+module Histogram = Histogram
+module Events = Events
+module Trace_export = Trace_export
 
 (** {1 Global switch and log level} *)
 
@@ -27,9 +32,14 @@ val level_of_string : string -> (level, string) result
 val level_to_string : level -> string
 
 val reset : unit -> unit
-(** Clear all counters, gauges and recorded spans (the trace file, if
-    any, stays open). Call between independent runs so each run's
-    snapshot stands alone. *)
+(** Clear all counters, gauges, histograms and recorded spans (the
+    trace file, if any, stays open; {!Trace_export}'s registry is
+    separate). Call between independent runs so each run's snapshot
+    stands alone. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], exported so instrumented code in libraries
+    that do not otherwise link [unix] can take timestamps. *)
 
 (** {1 Structured logging} *)
 
@@ -46,20 +56,32 @@ end
 (** {1 Hierarchical spans} *)
 
 module Span : sig
+  (** The GC fields hold [Gc.quick_stat] readings at entry while the
+      span is open; {!with_} rewrites them to entry-to-exit deltas when
+      it closes (inclusive of children, like the wall-clock time).
+      [top_heap_words] stays the absolute process peak at close. *)
   type t = {
     name : string;
     fields : (string * Json.t) list;
     start : float;  (** [Unix.gettimeofday] at entry *)
     mutable stop : float;
     mutable children_rev : t list;
+    mutable minor_words : float;
+    mutable promoted_words : float;
+    mutable major_words : float;
+    mutable minor_collections : int;
+    mutable major_collections : int;
+    mutable top_heap_words : int;
   }
 
   val with_ : ?fields:(string * Json.t) list -> name:string -> (unit -> 'a) -> 'a
   (** Run the function inside a named span. Spans nest through a parent
       stack: a span opened while another is running becomes its child,
       so [Flow.run_benchmark] yields a phase tree. When telemetry is
-      disabled this is exactly [fn ()]. Exceptions still close the
-      span. *)
+      disabled this is exactly [fn ()]. The body runs under
+      [Fun.protect], so an exception (e.g. [Scanpower_errors.Error]
+      aborting a stage) still closes the span — and every descendant
+      left open — keeping the JSON-lines trace well-formed. *)
 
   val duration_s : t -> float
   val children : t -> t list  (** in execution order *)
@@ -72,9 +94,19 @@ module Span : sig
       depth-first. *)
 
   val to_json : t -> Json.t
+  (** Includes ["start_s"] (absolute) and a ["gc"] object with the
+      allocation deltas, consumed by {!Trace_export}. *)
+
   val pp_tree : Format.formatter -> t -> unit
   (** Render the span tree with per-phase durations and percentage of
       the tree's root. *)
+
+  val pp_profile : ?top:int -> Format.formatter -> t -> unit
+  (** Flat per-stage table, spans aggregated by name: columns [stage],
+      [ms], [%], [minor-mw], [major-mw] (mega-words allocated),
+      [gc-min], [gc-maj] (collections), in exactly that order, sorted
+      by time descending (name as tie-break). [top] limits the row
+      count. *)
 end
 
 (** {1 Counters and gauges}
@@ -82,7 +114,8 @@ end
     Handles are created once (typically at module initialisation) and
     registered process-wide by name; [make] on an existing name returns
     the existing handle. Increments are dropped while telemetry is
-    disabled. *)
+    disabled. (Histograms follow the same contract — see
+    {!Histogram}.) *)
 
 module Counter : sig
   type t
@@ -120,10 +153,19 @@ val set_trace_file : string -> unit
 val close_trace : unit -> unit
 
 val metrics_snapshot : unit -> Json.t
-(** Single-shot snapshot: every registered counter, every set gauge and
-    the completed span trees, as one JSON object (schema
+(** Single-shot snapshot: the pid, every registered counter, every set
+    gauge, every non-empty histogram (count/sum/min/max/p50/p90/p99)
+    and the completed span trees, as one JSON object (schema
     ["scanpower.telemetry/1"]). Suitable for a [BENCH_*.json]
     trajectory file. *)
 
 val write_metrics : string -> unit
 (** [metrics_snapshot] pretty-printed compactly to a file. *)
+
+val chrome_trace : unit -> Json.t
+(** Trace Event JSON of this process's snapshot plus every worker
+    snapshot registered with {!Trace_export.register} — the parent's
+    span tree and each child's on its own pid track. *)
+
+val write_chrome : string -> unit
+(** {!chrome_trace} to a file, loadable in ui.perfetto.dev. *)

@@ -1,0 +1,97 @@
+(* Chrome/Perfetto Trace Event export.
+
+   A trace is assembled from one or more telemetry metrics snapshots
+   (the JSON produced by [Telemetry.metrics_snapshot]): the current
+   process contributes its own, and the fork+pipe job pool registers
+   each worker's snapshot as it arrives over the result pipe. Every
+   snapshot carries the pid it was taken in, so worker span trees are
+   re-parented onto their own process track — ui.perfetto.dev then
+   shows the pool as parallel lanes under the parent.
+
+   Format: the JSON Object Format of the Trace Event spec — an object
+   with a "traceEvents" array of "X" (complete) events carrying
+   ts/dur in microseconds, plus one "M" process_name metadata record
+   per snapshot. *)
+
+let number ?(default = 0.0) = function
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> default
+
+let registered_rev : (string * Json.t) list ref = ref []
+
+let register ~label snapshot =
+  registered_rev := (label, snapshot) :: !registered_rev
+
+let registered () = List.rev !registered_rev
+let clear () = registered_rev := []
+
+(* one "X" event per span, depth-first; [tid] encodes nothing (each
+   process is single-threaded) but is required by the format *)
+let rec span_events ~pid acc span =
+  let name =
+    match Json.member "name" span with
+    | Some (Json.String s) -> s
+    | _ -> "?"
+  in
+  let ts = number (Json.member "start_s" span) *. 1e6 in
+  let dur = number (Json.member "duration_s" span) *. 1e6 in
+  let args =
+    (match Json.member "fields" span with
+    | Some (Json.Obj kvs) -> kvs
+    | _ -> [])
+    @
+    match Json.member "gc" span with
+    | Some (Json.Obj _ as gc) -> [ ("gc", gc) ]
+    | _ -> []
+  in
+  let ev =
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String "span");
+         ("ph", Json.String "X");
+         ("ts", Json.Float ts);
+         ("dur", Json.Float dur);
+         ("pid", Json.Int pid);
+         ("tid", Json.Int 1);
+       ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  let acc = ev :: acc in
+  match Json.member "children" span with
+  | Some (Json.List kids) -> List.fold_left (span_events ~pid) acc kids
+  | _ -> acc
+
+let snapshot_events idx (label, snapshot) =
+  let pid =
+    match Json.member "pid" snapshot with
+    | Some (Json.Int p) -> p
+    (* legacy snapshot without a pid: a synthetic track id that cannot
+       collide with a real one *)
+    | _ -> -(idx + 1)
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String label) ]);
+      ]
+  in
+  let spans =
+    match Json.member "spans" snapshot with
+    | Some (Json.List spans) -> spans
+    | _ -> []
+  in
+  meta :: List.rev (List.fold_left (span_events ~pid) [] spans)
+
+let chrome_of_snapshots snapshots =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.concat (List.mapi snapshot_events snapshots)) );
+      ("displayTimeUnit", Json.String "ms");
+    ]

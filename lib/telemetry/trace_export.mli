@@ -1,0 +1,23 @@
+(** Chrome/Perfetto Trace Event export of telemetry snapshots.
+
+    Converts [Telemetry.metrics_snapshot] JSON (span trees with
+    absolute start times and GC deltas) into the Trace Event JSON
+    Object Format: a ["traceEvents"] array of complete ("X") events
+    with ts/dur in microseconds, one process track per snapshot (pid
+    taken from the snapshot, so spans shipped back from forked workers
+    land on their own lane), loadable in ui.perfetto.dev or
+    chrome://tracing. *)
+
+val register : label:string -> Json.t -> unit
+(** Add a worker's metrics snapshot to the process-wide registry; the
+    job pool calls this as each child's snapshot arrives over the
+    result pipe. [label] names the process track. *)
+
+val registered : unit -> (string * Json.t) list
+(** In registration order. *)
+
+val clear : unit -> unit
+
+val chrome_of_snapshots : (string * Json.t) list -> Json.t
+(** [(label, metrics snapshot)] pairs, one process track each.
+    Snapshots without a ["pid"] field get a synthetic negative pid. *)

@@ -32,6 +32,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("runner", Test_runner.suite);
       ("errors", Test_errors.suite);
+      ("bench-diff", Test_bench_diff.suite);
       ("validate", Test_validate.suite);
       ("chaos", Test_chaos.suite);
     ]

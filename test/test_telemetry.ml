@@ -227,6 +227,323 @@ let check_s344_identical_to_seed () =
   check_technique "enhanced_scan" cmp.Scanpower.Flow.enhanced_scan
     0x1.db5e0be0a176ep-28 0x1.fcecb06f1562fp+4 0x1.21e69437d1aa9p+5 2290
 
+(* ---------- histograms ---------- *)
+
+let check_histogram_percentiles () =
+  with_telemetry (fun () ->
+      let h = T.Histogram.make "test.hist" in
+      Alcotest.(check bool) "same handle for same name" true
+        (h == T.Histogram.make "test.hist");
+      for i = 1 to 100 do
+        T.Histogram.observe h (float_of_int i /. 1000.0)
+      done;
+      let s = T.Histogram.snapshot h in
+      Alcotest.(check int) "count" 100 s.T.Histogram.s_count;
+      Alcotest.(check (float 1e-12)) "min exact" 0.001 s.T.Histogram.s_min;
+      Alcotest.(check (float 1e-12)) "max exact" 0.1 s.T.Histogram.s_max;
+      (* log buckets are ~19% wide, so a percentile lands within one
+         bucket of the exact order statistic *)
+      let near tag expected v =
+        if not (v >= expected /. 1.25 && v <= expected *. 1.25) then
+          Alcotest.failf "%s: %g not within 25%% of %g" tag v expected
+      in
+      near "p50" 0.050 s.T.Histogram.p50;
+      near "p90" 0.090 s.T.Histogram.p90;
+      near "p99" 0.099 s.T.Histogram.p99;
+      Alcotest.(check bool) "percentiles monotone" true
+        (s.T.Histogram.p50 <= s.T.Histogram.p90
+        && s.T.Histogram.p90 <= s.T.Histogram.p99);
+      T.Histogram.observe h Float.nan;
+      T.Histogram.observe h Float.infinity;
+      Alcotest.(check int) "non-finite dropped" 100 (T.Histogram.count h);
+      T.Histogram.reset h;
+      Alcotest.(check int) "reset" 0 (T.Histogram.count h))
+
+let check_histogram_disabled_dropped () =
+  T.disable ();
+  T.reset ();
+  let h = T.Histogram.make "test.hist.off" in
+  T.Histogram.observe h 1.0;
+  Alcotest.(check int) "dropped while disabled" 0 (T.Histogram.count h)
+
+let check_histogram_in_snapshot () =
+  with_telemetry (fun () ->
+      let h = T.Histogram.make "test.hist.snap" in
+      T.Histogram.observe h 0.25;
+      T.Histogram.observe h 0.5;
+      let snap = T.metrics_snapshot () in
+      match J.member "histograms" snap with
+      | Some (J.Obj hs) -> (
+        match List.assoc_opt "test.hist.snap" hs with
+        | None -> Alcotest.fail "histogram missing from snapshot"
+        | Some hj ->
+          Alcotest.(check bool) "count serialized" true
+            (J.member "count" hj = Some (J.Int 2));
+          (match (J.member "p50" hj, J.member "p99" hj) with
+          | Some (J.Float p50), Some (J.Float p99) ->
+            Alcotest.(check bool) "p50 positive" true (p50 > 0.0);
+            Alcotest.(check bool) "p99 >= p50" true (p99 >= p50)
+          | _ -> Alcotest.fail "percentiles missing or non-numeric"))
+      | _ -> Alcotest.fail "histograms object missing from snapshot")
+
+(* ---------- string escaping and the chrome exporter ---------- *)
+
+let check_json_string_escaping () =
+  let repr s = J.to_string (J.String s) in
+  Alcotest.(check string) "quotes and backslashes"
+    "\"quote\\\"back\\\\slash\"" (repr "quote\"back\\slash");
+  Alcotest.(check string) "named control escapes" "\"a\\tb\\nc\\rd\""
+    (repr "a\tb\nc\rd");
+  Alcotest.(check string) "other control chars as \\u" "\"x\\u0001y\\u001fz\""
+    (repr "x\x01y\x1fz");
+  Alcotest.(check string) "utf-8 bytes pass through" "\"s\xc3\xa9quence \xe2\x86\x92\""
+    (repr "s\xc3\xa9quence \xe2\x86\x92");
+  (* and every one of those survives a round-trip *)
+  List.iter
+    (fun s ->
+      match J.of_string (repr s) with
+      | Ok (J.String s') -> Alcotest.(check string) "round-trip" s s'
+      | Ok _ -> Alcotest.fail "reparsed as non-string"
+      | Error e -> Alcotest.failf "reparse failed: %s" e)
+    [
+      "quote\"back\\slash"; "a\tb\nc\rd"; "x\x01y\x1fz";
+      "s\xc3\xa9quence \xe2\x86\x92"; "\\u0041 literal";
+    ]
+
+let check_chrome_trace_export () =
+  with_telemetry (fun () ->
+      T.Trace_export.clear ();
+      T.Span.with_ ~name:"parent"
+        ~fields:[ ("circuit", J.String "s27 \"quoted\\name\"") ] (fun () ->
+          T.Span.with_ ~name:"child" (fun () -> ()));
+      (* a synthetic worker snapshot under its own pid, as the job pool
+         ships them back over the result pipe *)
+      let worker =
+        match T.metrics_snapshot () with
+        | J.Obj fields ->
+          J.Obj
+            (List.map
+               (fun (k, v) -> if k = "pid" then (k, J.Int 4242) else (k, v))
+               fields)
+        | _ -> Alcotest.fail "snapshot is not an object"
+      in
+      T.Trace_export.register ~label:"worker s27" worker;
+      let trace = T.chrome_trace () in
+      T.Trace_export.clear ();
+      (match J.of_string (J.to_string trace) with
+      | Error e -> Alcotest.failf "chrome trace does not reparse: %s" e
+      | Ok t' ->
+        Alcotest.(check bool) "chrome trace round-trips" true (J.equal trace t'));
+      match J.member "traceEvents" trace with
+      | Some (J.List events) ->
+        let pids =
+          List.filter_map
+            (fun e ->
+              match J.member "pid" e with Some (J.Int p) -> Some p | _ -> None)
+            events
+        in
+        Alcotest.(check bool) "own pid present" true
+          (List.mem (Unix.getpid ()) pids);
+        Alcotest.(check bool) "worker re-parented on its own pid" true
+          (List.mem 4242 pids);
+        let span_names =
+          List.filter_map
+            (fun e ->
+              match (J.member "ph" e, J.member "name" e) with
+              | Some (J.String "X"), Some (J.String n) -> Some n
+              | _ -> None)
+            events
+        in
+        Alcotest.(check bool) "parent span exported" true
+          (List.mem "parent" span_names);
+        Alcotest.(check bool) "child span exported" true
+          (List.mem "child" span_names);
+        List.iter
+          (fun e ->
+            match J.member "ph" e with
+            | Some (J.String ("X" | "M")) -> ()
+            | ph ->
+              Alcotest.failf "unexpected event phase %s"
+                (match ph with Some p -> J.to_string p | None -> "missing"))
+          events
+      | _ -> Alcotest.fail "traceEvents array missing")
+
+(* ---------- trace well-formedness on exception paths ---------- *)
+
+let check_trace_wellformed_on_exception () =
+  let path = Filename.temp_file "scanpower_trace" ".jsonl" in
+  T.reset ();
+  T.enable ();
+  T.set_trace_file path;
+  (try
+     T.Span.with_ ~name:"stage" (fun () ->
+         T.Span.with_ ~name:"inner" (fun () ->
+             Scanpower_errors.raise_error ~code:Scanpower_errors.Runtime
+               ~stage:"test" "expected failure"))
+   with Scanpower_errors.Error _ -> ());
+  T.close_trace ();
+  T.disable ();
+  T.reset ();
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Sys.remove path;
+  let count typ =
+    List.length
+      (List.filter
+         (fun l ->
+           match J.of_string l with
+           | Ok obj -> J.member "type" obj = Some (J.String typ)
+           | Error e -> Alcotest.failf "trace line is not JSON (%s): %s" e l)
+         lines)
+  in
+  Alcotest.(check int) "two spans opened" 2 (count "span_start");
+  Alcotest.(check int) "every span_start has its span_end" (count "span_start")
+    (count "span_end")
+
+(* ---------- span GC attribution ---------- *)
+
+let check_span_gc_attribution () =
+  with_telemetry (fun () ->
+      T.Span.with_ ~name:"alloc" (fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Array.init 100_000 (fun i -> string_of_int (i * i)))));
+      match T.Span.find "alloc" with
+      | None -> Alcotest.fail "span missing"
+      | Some s ->
+        Alcotest.(check bool) "minor allocation attributed" true
+          (s.T.Span.minor_words > 0.0);
+        Alcotest.(check bool) "collection deltas non-negative" true
+          (s.T.Span.minor_collections >= 0 && s.T.Span.major_collections >= 0);
+        Alcotest.(check bool) "peak heap recorded" true
+          (s.T.Span.top_heap_words > 0);
+        (match J.member "gc" (T.Span.to_json s) with
+        | Some (J.Obj gc) ->
+          Alcotest.(check bool) "gc json carries minor_words" true
+            (List.mem_assoc "minor_words" gc)
+        | _ -> Alcotest.fail "gc object missing from span json"))
+
+(* ---------- event bus ---------- *)
+
+let check_event_bus () =
+  let seen = ref [] in
+  let sub = T.Events.subscribe (fun ev -> seen := ev.T.Events.name :: !seen) in
+  Alcotest.(check bool) "has subscribers" true (T.Events.has_subscribers ());
+  T.Events.emit "alpha" [ ("x", J.Int 1) ];
+  (* a throwing subscriber must not break delivery to the others *)
+  let bad = T.Events.subscribe (fun _ -> failwith "bad subscriber") in
+  T.Events.emit "beta" [];
+  T.Events.unsubscribe bad;
+  T.Events.unsubscribe sub;
+  T.Events.emit "gamma" [];
+  Alcotest.(check (list string)) "delivered in order, gamma unseen"
+    [ "alpha"; "beta" ] (List.rev !seen);
+  Alcotest.(check bool) "all unsubscribed" false (T.Events.has_subscribers ())
+
+let check_event_line_writer () =
+  let path = Filename.temp_file "scanpower_events" ".jsonl" in
+  let oc = open_out path in
+  let sub = T.Events.subscribe (T.Events.line_writer oc) in
+  T.Events.emit "sweep.job_finished"
+    [ ("job", J.String "s27 seed=1"); ("completed", J.Int 1) ];
+  T.Events.unsubscribe sub;
+  close_out oc;
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  match J.of_string (String.trim raw) with
+  | Error e -> Alcotest.failf "progress line is not JSON: %s" e
+  | Ok obj ->
+    Alcotest.(check bool) "event name" true
+      (J.member "event" obj = Some (J.String "sweep.job_finished"));
+    Alcotest.(check bool) "payload field" true
+      (J.member "completed" obj = Some (J.Int 1));
+    Alcotest.(check bool) "timestamped" true
+      (match J.member "ts" obj with Some (J.Float _) -> true | _ -> false)
+
+(* ---------- sweep progress events ---------- *)
+
+let check_sweep_progress_events () =
+  T.disable ();
+  T.reset ();
+  let events = ref [] in
+  let sub = T.Events.subscribe (fun ev -> events := ev :: !events) in
+  let finally () =
+    T.Events.unsubscribe sub;
+    T.disable ();
+    T.reset ()
+  in
+  Fun.protect ~finally (fun () ->
+      T.enable ();
+      let points =
+        Scanpower.Sweep.points ~seeds:[ 1; 2 ] [ Circuits.s27 () ]
+      in
+      let report =
+        Scanpower.Sweep.run ~jobs:1 ~capture_telemetry:false points
+      in
+      let named n = List.filter (fun ev -> ev.T.Events.name = n) !events in
+      let finished = named "sweep.job_finished" @ named "sweep.cache_hit" in
+      Alcotest.(check int) "one terminal event per job"
+        (List.length report.Scanpower.Sweep.results)
+        (List.length finished);
+      Alcotest.(check int) "one start per job"
+        (List.length points)
+        (List.length (named "sweep.job_started"));
+      List.iter
+        (fun ev ->
+          Alcotest.(check bool) "total field" true
+            (List.assoc_opt "total" ev.T.Events.fields = Some (J.Int 2));
+          match List.assoc_opt "completed" ev.T.Events.fields with
+          | Some (J.Int c) ->
+            Alcotest.(check bool) "completed within range" true (c >= 0 && c <= 2)
+          | _ -> Alcotest.fail "completed field missing")
+        !events)
+
+(* ---------- profile table ---------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_profile_table_s344 () =
+  with_telemetry (fun () ->
+      let _ = Scanpower.Flow.run_benchmark (Circuits.by_name "s344") in
+      match T.Span.find "flow.run_benchmark" with
+      | None -> Alcotest.fail "root span missing"
+      | Some root ->
+        let render ?top () =
+          let buf = Buffer.create 4096 in
+          let fmt = Format.formatter_of_buffer buf in
+          T.Span.pp_profile ?top fmt root;
+          Format.pp_print_flush fmt ();
+          Buffer.contents buf
+        in
+        let out = render () in
+        (* the header line pins the column order *)
+        let header = List.hd (String.split_on_char '\n' out) in
+        Alcotest.(check string) "deterministic column order"
+          (Printf.sprintf "%-32s %12s %6s %12s %12s %8s %8s" "stage" "ms" "%"
+             "minor-mw" "major-mw" "gc-min" "gc-maj")
+          header;
+        List.iter
+          (fun stage ->
+            Alcotest.(check bool) ("stage " ^ stage ^ " present") true
+              (contains ~needle:stage out))
+          [ "flow.run_benchmark"; "flow.prepare"; "atpg"; "flow.evaluate";
+            "scan_sim.traditional" ];
+        let lines s =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' s)
+        in
+        Alcotest.(check bool) "one row per distinct stage" true
+          (List.length (lines out) > List.length expected_phases / 2);
+        Alcotest.(check int) "--top 1 keeps header plus one row" 2
+          (List.length (lines (render ~top:1 ()))))
+
 let suite =
   [
     Alcotest.test_case "disabled is a no-op" `Quick check_disabled_is_noop;
@@ -245,4 +562,20 @@ let suite =
       check_flow_bit_identical_on_off;
     Alcotest.test_case "s344 identical to seed" `Slow
       check_s344_identical_to_seed;
+    Alcotest.test_case "histogram percentiles" `Quick
+      check_histogram_percentiles;
+    Alcotest.test_case "histogram disabled dropped" `Quick
+      check_histogram_disabled_dropped;
+    Alcotest.test_case "histogram in snapshot" `Quick
+      check_histogram_in_snapshot;
+    Alcotest.test_case "json string escaping" `Quick check_json_string_escaping;
+    Alcotest.test_case "chrome trace export" `Quick check_chrome_trace_export;
+    Alcotest.test_case "trace well-formed on exception" `Quick
+      check_trace_wellformed_on_exception;
+    Alcotest.test_case "span gc attribution" `Quick check_span_gc_attribution;
+    Alcotest.test_case "event bus" `Quick check_event_bus;
+    Alcotest.test_case "event line writer" `Quick check_event_line_writer;
+    Alcotest.test_case "sweep progress events" `Quick
+      check_sweep_progress_events;
+    Alcotest.test_case "profile table on s344" `Slow check_profile_table_s344;
   ]
