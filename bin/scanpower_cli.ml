@@ -859,6 +859,220 @@ let bench_diff_cmd =
         (const run $ old_path $ new_path $ time_threshold $ rate_threshold
        $ json_out))
 
+(* ---- serve ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the daemon protocol." in
+  Arg.(
+    value
+    & opt string (Scanpower_server.Protocol.default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let module Daemon = Scanpower_server.Daemon in
+  let run socket registry_capacity max_queue max_line default_deadline quiet
+      tele =
+    let* metrics_out = tele in
+    let config =
+      {
+        Daemon.socket;
+        registry_capacity;
+        max_queue;
+        max_line;
+        default_deadline_s = default_deadline;
+        log = (if quiet then None else Some stdout);
+      }
+    in
+    let (_final_stats : Telemetry.Json.t) = Daemon.run ~config () in
+    finish_telemetry metrics_out
+  in
+  let registry_capacity =
+    Arg.(
+      value & opt int 32
+      & info [ "registry-capacity" ] ~docv:"N"
+          ~doc:
+            "Warm prepared circuits (compiled netlist + ATPG machine) kept \
+             resident, LRU-evicted beyond $(docv).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests beyond $(docv) queued are refused \
+             with a structured $(b,overloaded) error (exit code 7 at the \
+             client).")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt int Scanpower_server.Protocol.max_line_default
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Cap on one request line (inline netlists included).")
+  in
+  let default_deadline =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-request deadline applied to requests that carry \
+             none; 0 disables.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:"Suppress the operational NDJSON log lines on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scan-power daemon: line-delimited JSON requests (flow, \
+          atpg, validate, sweep-point, health, stats) over a Unix-domain \
+          socket, served from a warm machine registry with LRU eviction, \
+          bounded-queue admission control and per-request deadlines. \
+          SIGTERM drains in-flight work, emits a final stats line and \
+          unlinks the socket.")
+    Term.(
+      term_result
+        (const run $ socket_arg $ registry_capacity $ max_queue $ max_line
+       $ default_deadline $ quiet $ telemetry_term))
+
+(* ---- client ---- *)
+
+let client_cmd =
+  let module P = Scanpower_server.Protocol in
+  let module C = Scanpower_server.Client in
+  let run socket kind_s spec seed engine deadline stream isolation repeat
+      connect_timeout tele =
+    let* metrics_out = tele in
+    let* kind =
+      match P.kind_of_string kind_s with
+      | Some k -> Ok k
+      | None ->
+        E.raise_error ~code:E.Usage ~stage:"client" ~token:kind_s
+          "unknown request kind (expected flow, atpg, validate, \
+           sweep-point, health or stats)"
+    in
+    (* a .bench path is shipped inline so the daemon never needs our
+       filesystem; a known name is resolved server-side *)
+    let circuit, bench, name =
+      match spec with
+      | None -> (None, None, None)
+      | Some spec ->
+        if List.mem spec Circuits.names then (Some spec, None, None)
+        else if Sys.file_exists spec then
+          let text = In_channel.with_open_bin spec In_channel.input_all in
+          let base = Filename.remove_extension (Filename.basename spec) in
+          (None, Some text, Some base)
+        else (Some spec, None, None)
+    in
+    if P.needs_circuit kind && circuit = None && bench = None then
+      E.raise_error ~code:E.Usage ~stage:"client"
+        (P.kind_to_string kind ^ " needs a circuit name or a .bench path");
+    let client = C.connect ~retry_for_s:connect_timeout socket in
+    Fun.protect
+      ~finally:(fun () -> C.close client)
+      (fun () ->
+        let last_error = ref None in
+        for i = 1 to repeat do
+          let req =
+            P.make ?circuit ?bench ?name:(Option.map Fun.id name) ~seed
+              ?engine ?deadline_s:deadline ~stream
+              ~isolation:
+                (if isolation = "fork" then P.Fork_isolation
+                 else P.Inline_isolation)
+              ~id:(Printf.sprintf "cli-%d-%d" (Unix.getpid ()) i)
+              kind
+          in
+          match
+            C.rpc
+              ~on_event:(Telemetry.Events.write_json_line stdout)
+              client req
+          with
+          | Ok value -> Telemetry.Events.write_json_line stdout value
+          | Error err -> last_error := Some err
+        done;
+        match !last_error with
+        | None -> finish_telemetry metrics_out
+        | Some err -> raise (E.Error err))
+  in
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND"
+          ~doc:
+            "Request kind: flow, atpg, validate, sweep-point, health or \
+             stats.")
+  in
+  let spec_arg =
+    let doc = "Benchmark name (resolved by the daemon) or .bench path \
+               (shipped inline)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (some (enum [ ("packed", "packed"); ("scalar", "scalar") ])) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Scan-simulation kernel for flow requests.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request deadline; expiry yields the structured \
+             $(b,deadline) error (exit code 8).")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Print the daemon's progress events for this request as JSON \
+             lines as they arrive.")
+  in
+  let isolation =
+    Arg.(
+      value
+      & opt (enum [ ("inline", "inline"); ("fork", "fork") ]) "inline"
+      & info [ "isolation" ] ~docv:"MODE"
+          ~doc:
+            "$(b,inline) runs in the daemon (fastest, warms the shared \
+             registry); $(b,fork) runs in a crash-isolated worker with the \
+             deadline enforced as a hard timeout.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the request $(docv) times sequentially (warm-registry \
+             measurements); the exit code reflects the last failure, if \
+             any.")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Keep retrying the connect for this long (daemon startup).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,scanpower serve) daemon and \
+          print the response value as one JSON line. Structured daemon \
+          errors map to the documented exit codes (7 overloaded, 8 \
+          deadline, ...).")
+    Term.(
+      term_result
+        (const run $ socket_arg $ kind_arg $ spec_arg $ seed_arg $ engine
+       $ deadline $ stream $ isolation $ repeat $ connect_timeout
+       $ telemetry_term))
+
 let main_cmd =
   let doc =
     "Simultaneous reduction of dynamic and static power in scan structures \
@@ -868,12 +1082,13 @@ let main_cmd =
     (Cmd.info "scanpower" ~version:"1.0.0" ~doc)
     [ list_cmd; stats_cmd; figure2_cmd; observability_cmd; atpg_cmd; power_cmd;
       profile_cmd; paths_cmd; export_cmd; peak_cmd; table1_cmd; validate_cmd;
-      sweep_cmd; bench_diff_cmd ]
+      sweep_cmd; bench_diff_cmd; serve_cmd; client_cmd ]
 
 (* Exit codes (also documented in the README): 0 success, 2 usage,
    3 parse/validation, 4 io/runtime, 5 partial batch, 6 bench-diff
-   regression; cmdliner itself keeps 124 for command-line syntax it
-   rejects before we run. *)
+   regression, 7 daemon overloaded, 8 request deadline expired;
+   cmdliner itself keeps 124 for command-line syntax it rejects before
+   we run. *)
 let () =
   Runner.Fault_inject.activate_from_env ();
   match Cmd.eval ~catch:false main_cmd with

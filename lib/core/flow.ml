@@ -61,10 +61,88 @@ let prepare ?atpg_config c =
    share across [evaluate] calls — sweeping parameter points on one
    circuit should pay for techmap + ATPG once. The memo key is the
    content digest, not physical identity, so re-parsing the same
-   netlist still hits. *)
-let prepare_memo : (string, prepared) Hashtbl.t = Hashtbl.create 16
+   netlist still hits.
+
+   The registry is LRU-bounded when a capacity is set (the serving
+   daemon must not grow without bound across tenants); the default
+   capacity 0 means unbounded, preserving one-shot CLI behaviour.
+   Recency is a monotonic tick per entry; eviction scans for the
+   minimum — O(entries), fine at registry scale. *)
+let prepare_memo : (string, prepared * int ref) Hashtbl.t = Hashtbl.create 16
 let prepare_hits = Telemetry.Counter.make "flow.prepare_memo.hit"
 let prepare_misses = Telemetry.Counter.make "flow.prepare_memo.miss"
+let prepare_evictions = Telemetry.Counter.make "flow.prepare_memo.eviction"
+
+(* gauges mirror the running totals so one metrics snapshot shows
+   warm-vs-cold behaviour without diffing counter streams *)
+let g_entries = Telemetry.Gauge.make "flow.prepare_registry.entries"
+let g_hits = Telemetry.Gauge.make "flow.prepare_registry.hits"
+let g_misses = Telemetry.Gauge.make "flow.prepare_registry.misses"
+let g_evictions = Telemetry.Gauge.make "flow.prepare_registry.evictions"
+
+type prepare_stats = {
+  p_entries : int;
+  p_hits : int;
+  p_misses : int;
+  p_evictions : int;
+}
+
+let stat_hits = ref 0
+let stat_misses = ref 0
+let stat_evictions = ref 0
+let prepare_tick = ref 0
+let prepare_capacity = ref 0
+
+let publish_prepare_gauges () =
+  if Telemetry.enabled () then begin
+    Telemetry.Gauge.set g_entries (float_of_int (Hashtbl.length prepare_memo));
+    Telemetry.Gauge.set g_hits (float_of_int !stat_hits);
+    Telemetry.Gauge.set g_misses (float_of_int !stat_misses);
+    Telemetry.Gauge.set g_evictions (float_of_int !stat_evictions)
+  end
+
+let prepare_stats () =
+  {
+    p_entries = Hashtbl.length prepare_memo;
+    p_hits = !stat_hits;
+    p_misses = !stat_misses;
+    p_evictions = !stat_evictions;
+  }
+
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun key (_, tick) acc ->
+        match acc with
+        | Some (_, best) when best <= !tick -> acc
+        | _ -> Some (key, !tick))
+      prepare_memo None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove prepare_memo key;
+    incr stat_evictions;
+    Telemetry.Counter.inc prepare_evictions
+
+let enforce_prepare_capacity () =
+  if !prepare_capacity > 0 then
+    while Hashtbl.length prepare_memo > !prepare_capacity do
+      evict_lru ()
+    done
+
+let set_prepare_capacity n =
+  prepare_capacity := n;
+  enforce_prepare_capacity ();
+  publish_prepare_gauges ()
+
+let clear_prepared () =
+  Hashtbl.reset prepare_memo;
+  stat_hits := 0;
+  stat_misses := 0;
+  stat_evictions := 0;
+  prepare_tick := 0;
+  publish_prepare_gauges ()
 
 let prepare_key ?atpg_config c =
   let cfg =
@@ -87,15 +165,24 @@ let prepare_key ?atpg_config c =
 
 let prepare_cached ?atpg_config c =
   let key = prepare_key ?atpg_config c in
-  match Hashtbl.find_opt prepare_memo key with
-  | Some p ->
-    Telemetry.Counter.inc prepare_hits;
-    p
-  | None ->
-    Telemetry.Counter.inc prepare_misses;
-    let p = prepare ?atpg_config c in
-    Hashtbl.add prepare_memo key p;
-    p
+  incr prepare_tick;
+  let result =
+    match Hashtbl.find_opt prepare_memo key with
+    | Some (p, tick) ->
+      tick := !prepare_tick;
+      incr stat_hits;
+      Telemetry.Counter.inc prepare_hits;
+      p
+    | None ->
+      incr stat_misses;
+      Telemetry.Counter.inc prepare_misses;
+      let p = prepare ?atpg_config c in
+      Hashtbl.replace prepare_memo key (p, ref !prepare_tick);
+      enforce_prepare_capacity ();
+      p
+  in
+  publish_prepare_gauges ();
+  result
 
 type technique_result = {
   dynamic_per_hz_uw : float;

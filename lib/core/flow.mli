@@ -27,8 +27,38 @@ val prepare_cached : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> prepar
     and the ATPG configuration, so sweeping flow-parameter points on
     the same circuit runs techmap + ATPG once. Safe because
     {!evaluate} never mutates a [prepared] — the reorder step works on
-    a copy. Telemetry counters [flow.prepare_memo.hit]/[.miss] track
-    its effectiveness. *)
+    a copy. Telemetry counters [flow.prepare_memo.hit]/[.miss]/
+    [.eviction] track its effectiveness, and the gauges
+    [flow.prepare_registry.{entries,hits,misses,evictions}] mirror the
+    running totals so one metrics snapshot shows warm-vs-cold
+    behaviour. *)
+
+val prepare_key : ?atpg_config:Atpg.Pattern_gen.config -> Circuit.t -> string
+(** The content digest {!prepare_cached} memoizes on: netlist text
+    plus the full ATPG configuration. Two circuits with the same key
+    produce the same [prepared] — the serving daemon keys its warm
+    machine registry on this. *)
+
+type prepare_stats = {
+  p_entries : int;  (** prepared circuits currently resident *)
+  p_hits : int;
+  p_misses : int;
+  p_evictions : int;
+}
+
+val prepare_stats : unit -> prepare_stats
+(** Running totals for the {!prepare_cached} registry since process
+    start (or the last {!clear_prepared}). *)
+
+val set_prepare_capacity : int -> unit
+(** Bound the registry to [n] prepared circuits, evicting
+    least-recently-used entries beyond it. [n <= 0] (the default)
+    means unbounded, the right choice for one-shot CLI runs; the
+    serving daemon sets its registry capacity here so a stream of
+    distinct tenant circuits cannot grow the heap without bound. *)
+
+val clear_prepared : unit -> unit
+(** Drop every resident entry and zero the statistics. For tests. *)
 
 type technique_result = {
   dynamic_per_hz_uw : float;

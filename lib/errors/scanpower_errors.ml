@@ -1,4 +1,13 @@
-type code = Usage | Parse | Validation | Io | Runtime | Partial | Regression
+type code =
+  | Usage
+  | Parse
+  | Validation
+  | Io
+  | Runtime
+  | Partial
+  | Regression
+  | Overloaded
+  | Deadline
 
 let code_to_string = function
   | Usage -> "usage"
@@ -8,17 +17,30 @@ let code_to_string = function
   | Runtime -> "runtime"
   | Partial -> "partial"
   | Regression -> "regression"
+  | Overloaded -> "overloaded"
+  | Deadline -> "deadline"
+
+let all_codes =
+  [ Usage; Parse; Validation; Io; Runtime; Partial; Regression;
+    Overloaded; Deadline ]
+
+let code_of_string s =
+  List.find_opt (fun c -> code_to_string c = s) all_codes
 
 (* Keep these in sync with the README troubleshooting table: 2 = bad
    invocation, 3 = bad input, 4 = the flow itself failed, 5 = a batch
    finished with failures, 6 = a benchmark comparison found a
-   regression. Cmdliner owns 124 for flag-syntax errors. *)
+   regression, 7 = the daemon refused the request under load, 8 = a
+   per-request deadline expired. Cmdliner owns 124 for flag-syntax
+   errors. *)
 let exit_code = function
   | Usage -> 2
   | Parse | Validation -> 3
   | Io | Runtime -> 4
   | Partial -> 5
   | Regression -> 6
+  | Overloaded -> 7
+  | Deadline -> 8
 
 type location = { file : string option; line : int; column : int }
 
@@ -91,6 +113,55 @@ let to_json e =
     :: ("stage", Json.String e.stage)
     :: opt "circuit" e.circuit
          (loc_fields (opt "token" e.token [ ("message", Json.String e.message) ])))
+
+(* The exact inverse of [to_json]. Strictness is deliberate: a daemon
+   client re-materializing an error must never silently downgrade a
+   code it does not know into [Runtime], because exit-code mapping and
+   retry policy hang off the code. *)
+let of_json json =
+  let module Json = Telemetry.Json in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let str_field obj k =
+    match Json.member k obj with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "field %S is not a string" k)
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let opt_str obj k =
+    match Json.member k obj with
+    | Some (Json.String s) -> Ok (Some s)
+    | Some _ -> Error (Printf.sprintf "field %S is not a string" k)
+    | None -> Ok None
+  in
+  let opt_int obj k =
+    match Json.member k obj with
+    | Some (Json.Int n) -> Ok (Some n)
+    | Some _ -> Error (Printf.sprintf "field %S is not an integer" k)
+    | None -> Ok None
+  in
+  match json with
+  | Json.Obj _ as obj ->
+    let* code_s = str_field obj "code" in
+    let* code =
+      match code_of_string code_s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "unknown error code %S" code_s)
+    in
+    let* stage = str_field obj "stage" in
+    let* message = str_field obj "message" in
+    let* circuit = opt_str obj "circuit" in
+    let* token = opt_str obj "token" in
+    let* file = opt_str obj "file" in
+    let* line = opt_int obj "line" in
+    let* column = opt_int obj "column" in
+    let* loc =
+      match (line, column, file) with
+      | None, None, None -> Ok None
+      | Some line, Some column, file -> Ok (Some { file; line; column })
+      | _ -> Error "location needs both \"line\" and \"column\""
+    in
+    Ok { code; stage; circuit; loc; token; message }
+  | _ -> Error "error payload is not a JSON object"
 
 let of_exn ~stage ?circuit exn =
   match exn with

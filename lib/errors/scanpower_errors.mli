@@ -18,15 +18,24 @@ type code =
   | Runtime  (** the flow itself failed (ATPG, simulation, pool misuse) *)
   | Partial  (** the batch finished but some jobs failed or were cut short *)
   | Regression  (** [bench-diff] found a metric past its threshold *)
+  | Overloaded
+      (** the serving daemon's admission queue was full and the request
+          was refused; safe to retry after backing off *)
+  | Deadline
+      (** the request's deadline expired before it could be served *)
 
 val code_to_string : code -> string
 (** Lowercase tag: ["usage"], ["parse"], ... *)
 
+val code_of_string : string -> code option
+(** Inverse of {!code_to_string}; [None] for unknown tags. *)
+
 val exit_code : code -> int
 (** The documented process exit code for each class:
     [Usage] → 2, [Parse]/[Validation] → 3, [Io]/[Runtime] → 4,
-    [Partial] → 5, [Regression] → 6. (0 is success; Cmdliner's own 124
-    covers command-line syntax it rejects before we run.) *)
+    [Partial] → 5, [Regression] → 6, [Overloaded] → 7, [Deadline] → 8.
+    (0 is success; Cmdliner's own 124 covers command-line syntax it
+    rejects before we run.) *)
 
 type location = {
   file : string option;  (** [None] for in-memory text *)
@@ -80,6 +89,13 @@ val to_string : t -> string
 val to_json : t -> Telemetry.Json.t
 (** Object with ["code"], ["stage"], ["message"] and, when present,
     ["circuit"], ["file"], ["line"], ["column"], ["token"]. *)
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Exact inverse of {!to_json}, so a daemon client can re-materialize
+    the structured error instead of string-matching. Strict: unknown
+    codes, missing required fields ([code], [stage], [message]) and
+    wrongly-typed fields are an [Error], never a silent downgrade —
+    exit-code mapping and retry policy hang off the code. *)
 
 val of_exn : stage:string -> ?circuit:string -> exn -> t
 (** Wrap a legacy exception: {!Error} passes through unchanged

@@ -1,0 +1,97 @@
+module Json = Telemetry.Json
+module E = Scanpower_errors
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retry_for_s = 0.0) path =
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec attempt () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        (* daemon still starting up: poll until the bind lands *)
+        Unix.sleepf 0.05;
+        attempt ()
+      end
+      else
+        E.raise_error ~code:E.Io ~stage:"client.connect"
+          (Printf.sprintf "cannot connect to %S: %s" path
+             (Unix.error_message e))
+  in
+  attempt ()
+
+let close t =
+  (try flush t.oc with _ -> ());
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+  try Unix.close t.fd with _ -> ()
+
+let send t req =
+  Telemetry.Events.write_json_line t.oc (Protocol.request_to_json req)
+
+let send_raw t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+(* Read response lines until the result or error belonging to [id].
+   Event lines are forwarded to [on_event]; responses for other ids
+   (pipelined requests) are forwarded to [on_other]. A protocol-level
+   error line carries a null id and terminates the wait too: it is the
+   daemon's answer to the line we just sent. *)
+let read_response ?(on_event = fun _ -> ()) ?(on_other = fun _ -> ()) t ~id =
+  let rec loop () =
+    match input_line t.ic with
+    | exception End_of_file ->
+      Error
+        (E.make ~code:E.Io ~stage:"client.read"
+           "connection closed before a response arrived")
+    | line -> (
+      match Json.of_string line with
+      | Error msg ->
+        Error
+          (E.make ~code:E.Parse ~stage:"client.read"
+             ("malformed response line: " ^ msg))
+      | Ok json -> (
+        let line_id =
+          match Json.member "id" json with
+          | Some (Json.String s) -> Some s
+          | _ -> None
+        in
+        match Json.member "type" json with
+        | Some (Json.String "event") ->
+          if line_id = Some id then on_event json else on_other json;
+          loop ()
+        | Some (Json.String "result") when line_id = Some id ->
+          (match Json.member "value" json with
+          | Some v -> Ok v
+          | None ->
+            Error
+              (E.make ~code:E.Parse ~stage:"client.read"
+                 "result line without a value"))
+        | Some (Json.String "error") when line_id = Some id || line_id = None
+          -> (
+          match Json.member "error" json with
+          | Some err -> (
+            match E.of_json err with
+            | Ok e -> Error e
+            | Error msg ->
+              Error
+                (E.make ~code:E.Parse ~stage:"client.read"
+                   ("malformed error payload: " ^ msg)))
+          | None ->
+            Error
+              (E.make ~code:E.Parse ~stage:"client.read"
+                 "error line without an error payload"))
+        | _ ->
+          on_other json;
+          loop ()))
+  in
+  loop ()
+
+let rpc ?on_event t req =
+  send t req;
+  read_response ?on_event t ~id:req.Protocol.id

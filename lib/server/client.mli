@@ -1,0 +1,39 @@
+(** Blocking client for the daemon {!Protocol} — the [scanpower
+    client] subcommand, the tests and the warm-registry benchmark all
+    drive the daemon through this. *)
+
+type t
+
+val connect : ?retry_for_s:float -> string -> t
+(** Connect to a daemon socket path. [retry_for_s] keeps polling a
+    not-yet-bound path for that many seconds (the daemon-startup
+    race in scripts and tests). Raises {!Scanpower_errors.Error}
+    (code [Io]) on failure. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+(** One request line, flushed; does not wait. *)
+
+val send_raw : t -> string -> unit
+(** An arbitrary line, flushed — for protocol-robustness tests. *)
+
+val read_response :
+  ?on_event:(Telemetry.Json.t -> unit) ->
+  ?on_other:(Telemetry.Json.t -> unit) ->
+  t ->
+  id:string ->
+  (Telemetry.Json.t, Scanpower_errors.t) result
+(** Read lines until the ["result"] (its ["value"] is returned) or
+    ["error"] (re-materialized via {!Scanpower_errors.of_json}) for
+    [id]. Event lines for [id] go to [on_event]; anything else —
+    pipelined responses for other ids — to [on_other]. A daemon error
+    line with a null id (a protocol-level rejection) also terminates
+    the wait. EOF before a response is an [Io] error. *)
+
+val rpc :
+  ?on_event:(Telemetry.Json.t -> unit) ->
+  t ->
+  Protocol.request ->
+  (Telemetry.Json.t, Scanpower_errors.t) result
+(** {!send} then {!read_response}. *)

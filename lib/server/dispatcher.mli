@@ -1,0 +1,31 @@
+(** Request execution: one {!Protocol.request} in, one JSON value or
+    one structured error out. The daemon loop owns admission and
+    framing; this module owns the semantics of each request kind and
+    the warm {!Registry} they share.
+
+    Bit-identity contract: a [flow] request computes exactly what the
+    one-shot [scanpower power] CLI computes for the same (circuit,
+    seed, engine) — the registry only elides the deterministic
+    prepare — and a [sweep-point] request goes through the real
+    {!Scanpower.Sweep} machinery so even the chaos injector's per-job
+    keying matches the CLI. Both are pinned by golden tests. *)
+
+type t
+
+val create : ?registry_capacity:int -> unit -> t
+(** Fresh dispatcher with an empty registry (default capacity 32). *)
+
+val registry : t -> Registry.t
+
+val handle :
+  t ->
+  ?extra:(string * Telemetry.Json.t) list ->
+  ?deadline_left:float ->
+  Protocol.request ->
+  (Telemetry.Json.t, Scanpower_errors.t) result
+(** Execute one request. [extra] fields are appended to [health] and
+    [stats] values (the daemon adds queue depth and request
+    counters). [deadline_left] is the remaining per-request budget —
+    enforced as a hard worker timeout under {!Protocol.Fork_isolation},
+    advisory otherwise. Never raises: every failure, including a
+    crashed isolated worker, comes back as a structured error. *)

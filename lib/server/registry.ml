@@ -1,0 +1,123 @@
+module Json = Telemetry.Json
+
+(* Global counters: one daemon per process, and the metrics snapshot
+   is the delivery vehicle for hit/miss/eviction visibility. *)
+let c_hits = Telemetry.Counter.make "server.registry.hit"
+let c_misses = Telemetry.Counter.make "server.registry.miss"
+let c_evictions = Telemetry.Counter.make "server.registry.eviction"
+let g_entries = Telemetry.Gauge.make "server.registry.entries"
+
+type entry = {
+  key : string;
+  circuit_name : string;
+  prepared : Scanpower.Flow.prepared;
+  mutable entry_hits : int;
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  s_capacity : int;
+  s_entries : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity < 1 then invalid_arg "Registry.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let publish t =
+  if Telemetry.enabled () then
+    Telemetry.Gauge.set g_entries (float_of_int (Hashtbl.length t.table))
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_used -> acc
+        | _ -> Some (key, e.last_used))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1;
+    Telemetry.Counter.inc c_evictions
+
+let find_or_prepare t ~key ~name build =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    e.last_used <- t.tick;
+    e.entry_hits <- e.entry_hits + 1;
+    t.hits <- t.hits + 1;
+    Telemetry.Counter.inc c_hits;
+    (e.prepared, true)
+  | None ->
+    t.misses <- t.misses + 1;
+    Telemetry.Counter.inc c_misses;
+    (* build before inserting: a failed prepare (validation error)
+       must not leave a half-entry resident *)
+    let prepared = build () in
+    let e =
+      { key; circuit_name = name; prepared; entry_hits = 0;
+        last_used = t.tick }
+    in
+    Hashtbl.replace t.table key e;
+    while Hashtbl.length t.table > t.capacity do
+      evict_lru t
+    done;
+    publish t;
+    (prepared, false)
+
+let stats t =
+  {
+    s_capacity = t.capacity;
+    s_entries = Hashtbl.length t.table;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_evictions = t.evictions;
+  }
+
+let stats_json t =
+  let s = stats t in
+  let residents =
+    Hashtbl.fold
+      (fun _ e acc ->
+        Json.Obj
+          [
+            ("key", Json.String e.key);
+            ("circuit", Json.String e.circuit_name);
+            ("hits", Json.Int e.entry_hits);
+          ]
+        :: acc)
+      t.table []
+  in
+  Json.Obj
+    [
+      ("capacity", Json.Int s.s_capacity);
+      ("entries", Json.Int s.s_entries);
+      ("hits", Json.Int s.s_hits);
+      ("misses", Json.Int s.s_misses);
+      ("evictions", Json.Int s.s_evictions);
+      ("resident", Json.List residents);
+    ]

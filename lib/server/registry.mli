@@ -1,0 +1,45 @@
+(** The warm machine registry: compiled (techmapped) circuits plus
+    their persistent ATPG outcome ({!Scanpower.Flow.prepared}), keyed
+    by {!Scanpower.Flow.prepare_key} — the digest of the netlist text
+    and the full ATPG configuration — with LRU eviction at a fixed
+    capacity. This is what turns a one-shot pipeline into a serving
+    layer: the expensive prepare (techmap + CPT fault-sim + PODEM)
+    runs once per distinct (netlist, config) and every later request
+    for it pays only {!Scanpower.Flow.evaluate}.
+
+    Hits, misses and evictions are mirrored into the telemetry
+    counters [server.registry.{hit,miss,eviction}] and the gauge
+    [server.registry.entries], so the metrics snapshot shows the warm
+    working set directly. *)
+
+type t
+
+type stats = {
+  s_capacity : int;
+  s_entries : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 32 prepared circuits. Raises [Invalid_argument]
+    when [capacity < 1]. *)
+
+val find_or_prepare :
+  t ->
+  key:string ->
+  name:string ->
+  (unit -> Scanpower.Flow.prepared) ->
+  Scanpower.Flow.prepared * bool
+(** Returns the resident machine and [true] on a hit; otherwise runs
+    [build], inserts the result, evicts least-recently-used entries
+    beyond capacity and returns [..., false]. A [build] that raises
+    (e.g. a validation error) inserts nothing. *)
+
+val stats : t -> stats
+
+val stats_json : t -> Telemetry.Json.t
+(** [stats] plus one record per resident entry (key, circuit,
+    per-entry hits) for the [stats] request and the final drain
+    line. *)

@@ -35,7 +35,13 @@ let to_json ev =
   Json.Obj
     (("ts", Json.Float ev.ts) :: ("event", Json.String ev.name) :: ev.fields)
 
-let line_writer oc ev =
-  output_string oc (Json.to_string (to_json ev));
+(* The single NDJSON emission point: [sweep --progress] files and the
+   serving daemon's response/event stream both go through here, so
+   framing (one compact object, one '\n', flushed — never a partial
+   line visible to a tailing reader) is fixed in exactly one place. *)
+let write_json_line oc json =
+  output_string oc (Json.to_string json);
   output_char oc '\n';
   flush oc
+
+let line_writer oc ev = write_json_line oc (to_json ev)

@@ -27,5 +27,11 @@ val emit : string -> (string * Json.t) list -> unit
 val to_json : event -> Json.t
 (** [{"ts":..., "event":name, ...fields}]. *)
 
+val write_json_line : out_channel -> Json.t -> unit
+(** The one NDJSON framing point shared by [sweep --progress] and the
+    serving daemon's response stream: one compact JSON value, one
+    ['\n'], flushed, so a tailing reader never observes a torn line. *)
+
 val line_writer : out_channel -> event -> unit
-(** [to_json], one line, flushed — NDJSON suitable for tailing. *)
+(** [to_json] through {!write_json_line} — NDJSON suitable for
+    tailing. *)

@@ -448,10 +448,82 @@ let check_journal_meta_binds_batch () =
   Alcotest.(check bool) "meta is stable" true
     (m1 = Sweep.journal_meta (Sweep.points [ c1 ]))
 
+(* ------------------------------------------------------------------ *)
+(* the daemon under fault injection: bit-identical to one-shot         *)
+(* ------------------------------------------------------------------ *)
+
+(* A live daemon whose ATPG aborts on every machine (rate 1.0, so the
+   fault deterministically fires) must return exactly what the
+   one-shot path returns under the same injection: the degraded result
+   is still a correct, reproducible result. Circuits are shipped
+   inline over the wire, and the reference side parses the same
+   serialized text, so both sides work from identical netlists. *)
+let check_daemon_chaos_bit_identical () =
+  let module P = Scanpower_server.Protocol in
+  let module C = Scanpower_server.Client in
+  let spec = { FI.seed = 77; rates = [ (FI.Atpg_abort, 1.0) ] } in
+  let benches =
+    List.init 3 (fun i ->
+        let c = small (Printf.sprintf "dchaos%d" i) (300 + i) in
+        (Netlist.Circuit.name c, Netlist.Bench_writer.to_string c))
+  in
+  let parsed =
+    List.map (fun (name, text) -> Netlist.Bench_parser.parse_string ~name text)
+      benches
+  in
+  let sweep_cmps inject =
+    let run () =
+      Sweep.run ~jobs:1 ~capture_telemetry:false
+        (Sweep.points ~seeds:[ 3 ] parsed)
+    in
+    let report =
+      if inject then FI.with_spec (Some spec) run else run ()
+    in
+    List.map
+      (fun (jr : Sweep.job_result) ->
+        match jr.Sweep.comparison with
+        | Ok c -> Sweep.comparison_to_json c
+        | Error m -> Alcotest.fail m)
+      report.Sweep.results
+  in
+  let direct = sweep_cmps true in
+  (* the injection must actually bite: an aborted ATPG produces a
+     different (degraded) result than a clean run *)
+  let clean = sweep_cmps false in
+  Alcotest.(check bool) "injected abort changes the result" false
+    (Json.equal (List.hd direct) (List.hd clean));
+  (* the daemon inherits the armed injector at fork time *)
+  let pid, socket =
+    FI.with_spec (Some spec) (fun () -> Test_server.start_daemon ())
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Test_server.stop_daemon pid))
+    (fun () ->
+      Test_server.with_client socket (fun client ->
+          List.iteri
+            (fun i ((name, text), reference) ->
+              let req =
+                P.make
+                  ~id:(Printf.sprintf "dc%d" i)
+                  ~bench:text ~name ~seed:3 P.Sweep_point
+              in
+              match C.rpc client req with
+              | Error e -> Alcotest.fail (Scanpower_errors.to_string e)
+              | Ok v -> (
+                match Json.member "comparison" v with
+                | Some cmp ->
+                  Alcotest.(check bool)
+                    (name ^ " daemon ≡ one-shot under injection")
+                    true (Json.equal reference cmp)
+                | None -> Alcotest.fail "sweep-point value lacks a comparison"))
+            (List.combine benches direct)))
+
 let suite =
   [
     Alcotest.test_case "chaos sweep bit-identical to clean" `Quick
       check_chaos_sweep_bit_identical;
+    Alcotest.test_case "daemon under injection bit-identical to one-shot"
+      `Quick check_daemon_chaos_bit_identical;
     Alcotest.test_case "corrupt cache quarantined and recomputed" `Quick
       check_corrupt_cache_quarantined;
     Alcotest.test_case "poison quarantine" `Quick check_poison_quarantine;

@@ -4,6 +4,10 @@
 module E = Scanpower_errors
 module Json = Telemetry.Json
 
+let all_codes =
+  [ E.Usage; E.Parse; E.Validation; E.Io; E.Runtime; E.Partial; E.Regression;
+    E.Overloaded; E.Deadline ]
+
 let check_exit_codes () =
   Alcotest.(check int) "usage" 2 (E.exit_code E.Usage);
   Alcotest.(check int) "parse" 3 (E.exit_code E.Parse);
@@ -11,14 +15,28 @@ let check_exit_codes () =
   Alcotest.(check int) "io" 4 (E.exit_code E.Io);
   Alcotest.(check int) "runtime" 4 (E.exit_code E.Runtime);
   Alcotest.(check int) "partial" 5 (E.exit_code E.Partial);
+  Alcotest.(check int) "regression" 6 (E.exit_code E.Regression);
+  Alcotest.(check int) "overloaded" 7 (E.exit_code E.Overloaded);
+  Alcotest.(check int) "deadline" 8 (E.exit_code E.Deadline);
   List.iter
     (fun c ->
       Alcotest.(check bool)
         (E.code_to_string c ^ " reserves 0, 1 and cmdliner's 124")
         true
         (let n = E.exit_code c in
-         n >= 2 && n <= 5))
-    [ E.Usage; E.Parse; E.Validation; E.Io; E.Runtime; E.Partial ]
+         n >= 2 && n <= 8))
+    all_codes
+
+let check_code_of_string () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (E.code_to_string c ^ " round-trips")
+        true
+        (E.code_of_string (E.code_to_string c) = Some c))
+    all_codes;
+  Alcotest.(check bool) "unknown tag is None" true
+    (E.code_of_string "catastrophe" = None)
 
 let check_to_string () =
   let t =
@@ -90,6 +108,64 @@ let check_of_exn () =
   Alcotest.(check (option string)) "existing circuit kept" (Some "orig")
     (wrap (E.Error named)).E.circuit
 
+(* ---- of_json: exact inverse of to_json ---- *)
+
+let check_of_json_inverse () =
+  let t =
+    E.make ~circuit:"s27"
+      ~loc:{ E.file = Some "x.bench"; line = 3; column = 5 }
+      ~token:"NND" ~code:E.Parse ~stage:"bench_parser" "boom"
+  in
+  (match E.of_json (E.to_json t) with
+  | Ok t' -> Alcotest.(check bool) "full error round-trips" true (t = t')
+  | Error m -> Alcotest.fail m);
+  let minimal = E.make ~code:E.Overloaded ~stage:"server.admission" "full" in
+  (match E.of_json (E.to_json minimal) with
+  | Ok t' -> Alcotest.(check bool) "minimal error round-trips" true (minimal = t')
+  | Error m -> Alcotest.fail m);
+  (* strictness: unknown codes and missing fields must not decode *)
+  let reject label j =
+    match E.of_json j with
+    | Ok _ -> Alcotest.fail (label ^ " must be rejected")
+    | Error _ -> ()
+  in
+  reject "unknown code"
+    (Json.Obj
+       [ ("code", Json.String "catastrophe"); ("stage", Json.String "x");
+         ("message", Json.String "m") ]);
+  reject "missing message"
+    (Json.Obj [ ("code", Json.String "io"); ("stage", Json.String "x") ]);
+  reject "line without column"
+    (Json.Obj
+       [ ("code", Json.String "io"); ("stage", Json.String "x");
+         ("message", Json.String "m"); ("line", Json.Int 3) ]);
+  reject "non-object" (Json.String "io")
+
+(* every structured error — any code, any combination of the optional
+   fields — survives to_json/of_json bit-identically *)
+let error_gen =
+  let open QCheck.Gen in
+  let code = oneofl [ E.Usage; E.Parse; E.Validation; E.Io; E.Runtime;
+                      E.Partial; E.Regression; E.Overloaded; E.Deadline ] in
+  let short = string_size ~gen:printable (int_range 0 12) in
+  let opt g = oneof [ return None; map Option.some g ] in
+  let loc =
+    opt
+      (map3
+         (fun file line column -> { E.file; line; column })
+         (opt short) (int_range 0 500) (int_range 0 80))
+  in
+  map (fun ((code, stage, message), (circuit, loc, token)) ->
+      E.make ?circuit ?loc ?token ~code ~stage message)
+    (pair (triple code short short) (triple (opt short) loc (opt short)))
+
+let prop_error_json_roundtrip =
+  QCheck.Test.make ~name:"of_json inverts to_json" ~count:500
+    (QCheck.make error_gen) (fun t ->
+      match E.of_json (E.to_json t) with
+      | Ok t' -> t = t'
+      | Error m -> QCheck.Test.fail_report m)
+
 let check_errorf_and_raise () =
   match E.errorf ~code:E.Usage ~stage:"cli" "unknown circuit %S" "zz9" with
   | exception E.Error e ->
@@ -125,8 +201,12 @@ let check_flow_validation_warns_but_proceeds () =
 let suite =
   [
     Alcotest.test_case "exit codes" `Quick check_exit_codes;
+    Alcotest.test_case "code_of_string round-trips" `Quick check_code_of_string;
     Alcotest.test_case "to_string" `Quick check_to_string;
     Alcotest.test_case "to_json" `Quick check_to_json;
+    Alcotest.test_case "of_json inverse + strictness" `Quick
+      check_of_json_inverse;
+    QCheck_alcotest.to_alcotest prop_error_json_roundtrip;
     Alcotest.test_case "of_exn wrapping" `Quick check_of_exn;
     Alcotest.test_case "errorf raises formatted" `Quick check_errorf_and_raise;
     Alcotest.test_case "flow validation warns but proceeds" `Quick

@@ -463,6 +463,39 @@ let check_event_line_writer () =
     Alcotest.(check bool) "timestamped" true
       (match J.member "ts" obj with Some (J.Float _) -> true | _ -> false)
 
+(* the one NDJSON emission point shared by [sweep --progress] and the
+   daemon's response stream: one compact object per line, flushed
+   immediately, newline-terminated even for the last line *)
+let check_write_json_line_framing () =
+  let path = Filename.temp_file "scanpower_lines" ".jsonl" in
+  let oc = open_out path in
+  let payloads =
+    [
+      J.Obj [ ("a", J.Int 1) ];
+      J.Obj [ ("nested", J.Obj [ ("s", J.String "x\ny") ]) ];
+      J.List [ J.Bool true; J.Null ];
+    ]
+  in
+  List.iter (T.Events.write_json_line oc) payloads;
+  (* flushed: a second reader sees every full line before close *)
+  let raw_before_close = In_channel.with_open_bin path In_channel.input_all in
+  close_out oc;
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check string) "flushed per line, not at close" raw
+    raw_before_close;
+  Alcotest.(check bool) "newline-terminated" true
+    (String.length raw > 0 && raw.[String.length raw - 1] = '\n');
+  let lines = String.split_on_char '\n' (String.sub raw 0 (String.length raw - 1)) in
+  Alcotest.(check int) "one line per payload" (List.length payloads)
+    (List.length lines);
+  List.iter2
+    (fun line payload ->
+      match J.of_string line with
+      | Ok j -> Alcotest.(check bool) "line round-trips" true (J.equal j payload)
+      | Error e -> Alcotest.failf "line is not JSON: %s" e)
+    lines payloads
+
 (* ---------- sweep progress events ---------- *)
 
 let check_sweep_progress_events () =
@@ -575,6 +608,8 @@ let suite =
     Alcotest.test_case "span gc attribution" `Quick check_span_gc_attribution;
     Alcotest.test_case "event bus" `Quick check_event_bus;
     Alcotest.test_case "event line writer" `Quick check_event_line_writer;
+    Alcotest.test_case "write_json_line framing" `Quick
+      check_write_json_line_framing;
     Alcotest.test_case "sweep progress events" `Quick
       check_sweep_progress_events;
     Alcotest.test_case "profile table on s344" `Slow check_profile_table_s344;
