@@ -513,6 +513,28 @@ let kernels () =
         packed.Scan.Scan_sim.per_cycle_toggles
         <> scalar.Scan.Scan_sim.per_cycle_toggles
       then failwith (name ^ ": packed/scalar per-cycle toggle mismatch");
+      (* W-word batches: same measurement at 256 and 512 patterns per
+         pass; each must reproduce the W=1 toggle counts bit for bit
+         before its timing is trusted *)
+      let wide_shift width =
+        let r, s =
+          time ~reps:shift_reps (fun () ->
+              Scan.Scan_sim.measure ~engine:Scan.Scan_sim.Packed ~width c
+                chain Scan.Scan_sim.traditional ~vectors)
+        in
+        if r.Scan.Scan_sim.toggles <> packed.Scan.Scan_sim.toggles then
+          failwith
+            (Printf.sprintf "%s: packed W=%d toggle mismatch" name width);
+        if
+          r.Scan.Scan_sim.per_cycle_toggles
+          <> packed.Scan.Scan_sim.per_cycle_toggles
+        then
+          failwith
+            (Printf.sprintf "%s: packed W=%d per-cycle mismatch" name width);
+        s
+      in
+      let packed_w4_s = wide_shift 4 in
+      let packed_w8_s = wide_shift 8 in
       let faults = Atpg.Fault.collapsed_faults c in
       (* both fault-sim engines on persistent machines: the cone
          reference and the critical-path-tracing engine must agree
@@ -555,14 +577,33 @@ let kernels () =
       let fault_events_s =
         float_of_int (events1 - events0) /. Float.max 1e-9 fault_cpt_s
       in
+      (* FFR-sharded fault simulation over 2 and 4 domains; the merged
+         partition must be bit-identical to the sequential walk (on
+         this box the wall-clock gain tracks the core count — a
+         single-core runner reports ~1x, which is honest) *)
+      let sharded_fault domains =
+        Par.Domain_pool.with_pool ~domains (fun pool ->
+            let (det, _), s =
+              time (fun () ->
+                  Atpg.Fault_simulation.split ~machine:m_cpt ~pool c ~faults
+                    ~vectors)
+            in
+            if det <> cpt_detected then
+              failwith
+                (Printf.sprintf "%s: sharded fault-sim (d=%d) mismatch" name
+                   domains);
+            s)
+      in
+      let fault_d2_s = sharded_fault 2 in
+      let fault_d4_s = sharded_fault 4 in
       let speedup = scalar_s /. Float.max 1e-9 packed_s in
       Format.printf
         "%-8s compile %7.4fs | shift sim: packed %8.4fs vs scalar %8.4fs \
-         (%5.1fx) | fault sim: cpt %7.3fs vs cone %7.3fs (%5.1fx, %.2e ev/s, \
-         %d/%d detected)@."
-        name compile_s packed_s scalar_s speedup fault_cpt_s fault_cone_s
-        fault_speedup fault_events_s (List.length detected)
-        (List.length faults);
+         (%5.1fx) | W4 %8.4fs W8 %8.4fs | fault sim: cpt %7.3fs vs cone \
+         %7.3fs (%5.1fx, %.2e ev/s, %d/%d detected) | d2 %7.3fs d4 %7.3fs@."
+        name compile_s packed_s scalar_s speedup packed_w4_s packed_w8_s
+        fault_cpt_s fault_cone_s fault_speedup fault_events_s
+        (List.length detected) (List.length faults) fault_d2_s fault_d4_s;
       kernels_json :=
         ( name,
           Telemetry.Json.Obj
@@ -574,14 +615,32 @@ let kernels () =
               ( "total_toggles",
                 Telemetry.Json.Int packed.Scan.Scan_sim.total_toggles );
               ("compile_s", Telemetry.Json.Float compile_s);
+              ("packed_width", Telemetry.Json.Int 8);
+              ("domains", Telemetry.Json.Int 4);
               ("packed_shift_s", Telemetry.Json.Float packed_s);
+              ("packed_shift_w4_s", Telemetry.Json.Float packed_w4_s);
+              ("packed_shift_w8_s", Telemetry.Json.Float packed_w8_s);
               ("scalar_shift_s", Telemetry.Json.Float scalar_s);
               ("packed_speedup", Telemetry.Json.Float speedup);
+              ( "packed_w4_speedup",
+                Telemetry.Json.Float (packed_s /. Float.max 1e-9 packed_w4_s)
+              );
+              ( "packed_w8_speedup",
+                Telemetry.Json.Float (packed_s /. Float.max 1e-9 packed_w8_s)
+              );
               ("fault_sim_s", Telemetry.Json.Float fault_cpt_s);
               ("fault_sim_cone_s", Telemetry.Json.Float fault_cone_s);
               ("fault_sim_cpt_s", Telemetry.Json.Float fault_cpt_s);
               ("fault_sim_speedup", Telemetry.Json.Float fault_speedup);
               ("fault_sim_events_s", Telemetry.Json.Float fault_events_s);
+              ("fault_sim_d2_s", Telemetry.Json.Float fault_d2_s);
+              ("fault_sim_d4_s", Telemetry.Json.Float fault_d4_s);
+              ( "fault_sim_par_d2_speedup",
+                Telemetry.Json.Float (fault_cpt_s /. Float.max 1e-9 fault_d2_s)
+              );
+              ( "fault_sim_par_d4_speedup",
+                Telemetry.Json.Float (fault_cpt_s /. Float.max 1e-9 fault_d4_s)
+              );
               ("fault_sim_pattern_p50_s", Telemetry.Json.Float pattern_p50);
               ("fault_sim_pattern_p99_s", Telemetry.Json.Float pattern_p99);
               ("faults", Telemetry.Json.Int (List.length faults));
@@ -629,7 +688,13 @@ let serve_bench () =
   let module C = Scanpower_server.Client in
   let module P = Scanpower_server.Protocol in
   let module J = Telemetry.Json in
-  let circuit = if fast then "s1196" else "s5378" in
+  (* s1196 in both modes: this stage pins registry *amortisation* —
+     warm requests must elide the prepare — which is only a meaningful
+     contract where prepare dominates the request. On an
+     eval-dominated circuit (s5378: ~5s of measurement per request vs
+     ~14s of prepare) the warm floor is the measurement itself and the
+     20%-of-cold assertion below is structurally unsatisfiable. *)
+  let circuit = "s1196" in
   let socket =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -719,7 +784,7 @@ let write_bench_json () =
     let doc =
       Telemetry.Json.Obj
         [
-          ("schema", Telemetry.Json.String "scanpower.bench_kernels/1");
+          ("schema", Telemetry.Json.String "scanpower.bench_kernels/2");
           ("fast", Telemetry.Json.Bool fast);
           ("circuits", Telemetry.Json.Obj (List.rev !kernels_json));
         ]
@@ -858,8 +923,12 @@ let () =
   stage "ablation_exact_probabilities" ablation_exact_probabilities;
   stage "ablation_multi_chain" ablation_multi_chain;
   stage "ablation_atpg_engines" ablation_atpg_engines;
-  stage "kernels" kernels;
+  (* serve before kernels, deliberately: the serve stage forks a
+     daemon, the kernels stage spawns pool domains, and OCaml 5
+     permanently refuses Unix.fork once a domain has ever been created
+     in the process. Fork-based stages must run first. *)
   stage "serve" serve_bench;
+  stage "kernels" kernels;
   stage "micro" micro;
   write_bench_json ();
   (match json_out with

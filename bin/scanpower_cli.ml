@@ -542,11 +542,45 @@ let validate_cmd =
           diagnostic (not just the first) and exits 3 if any are errors.")
     Term.(term_result (const run $ specs))
 
+(* ---- parallel execution mode (sweep + serve) ---- *)
+
+let parallel_arg =
+  let mode_conv =
+    let parse s =
+      match Runner.strategy_of_string s with
+      | Some st -> Ok st
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid parallel mode %S (expected domains, processes or auto)"
+               s))
+    in
+    let print fmt st =
+      Format.pp_print_string fmt (Runner.strategy_to_string st)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt mode_conv Runner.Auto
+    & info [ "parallel" ] ~docv:"MODE"
+        ~env:(Cmd.Env.info "SCANPOWER_PARALLEL")
+        ~doc:
+          "How parallel work executes: $(b,processes) forks one killable \
+           worker per job (crash/timeout isolation, per-worker telemetry); \
+           $(b,domains) fans jobs over in-process worker domains (no fork \
+           cost, shared warm caches, but no per-job timeout and no \
+           per-worker telemetry capture); $(b,auto) picks domains only when \
+           no process-only capability (timeout, telemetry capture, signal \
+           handling, fault injection) is in play. Also honoured from the \
+           environment.")
+
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run names jobs seeds timeout retries backoff deadline no_cache cache_dir
-      journal resume out csv progress tele =
+  let run names jobs parallel seeds timeout retries backoff deadline no_cache
+      cache_dir journal resume out csv progress tele =
     let* metrics_out = tele in
     let names = if names = [] then Circuits.names else names in
     let* circuits =
@@ -619,7 +653,7 @@ let sweep_cmd =
     let t0 = Unix.gettimeofday () in
     let report =
       Fun.protect ~finally:stop_progress (fun () ->
-          Scanpower.Sweep.run ~jobs ~timeout_s:timeout ~retries
+          Scanpower.Sweep.run ~jobs ~parallel ~timeout_s:timeout ~retries
             ~backoff_s:backoff ~deadline_s:deadline ~handle_signals:true ?cache
             ?journal_path:journal ~resume ~on_event points)
     in
@@ -678,8 +712,9 @@ let sweep_cmd =
       value & opt int 4
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Worker processes. 1 runs everything sequentially in-process; \
-             larger values fan jobs out over forked workers.")
+            "Parallel workers. 1 runs everything sequentially in-process; \
+             larger values fan jobs out over forked workers or domains \
+             (see $(b,--parallel)).")
   in
   let seeds =
     Arg.(
@@ -785,9 +820,9 @@ let sweep_cmd =
           interrupted batch without redoing completed jobs.")
     Term.(
       term_result
-        (const run $ names $ jobs $ seeds $ timeout $ retries $ backoff
-       $ deadline $ no_cache $ cache_dir $ journal $ resume $ out $ csv
-       $ progress $ telemetry_term))
+        (const run $ names $ jobs $ parallel_arg $ seeds $ timeout $ retries
+       $ backoff $ deadline $ no_cache $ cache_dir $ journal $ resume $ out
+       $ csv $ progress $ telemetry_term))
 
 (* ---- bench-diff ---- *)
 
@@ -870,8 +905,8 @@ let socket_arg =
 
 let serve_cmd =
   let module Daemon = Scanpower_server.Daemon in
-  let run socket registry_capacity max_queue max_line default_deadline quiet
-      tele =
+  let run socket registry_capacity max_queue max_line default_deadline
+      parallel quiet tele =
     let* metrics_out = tele in
     let config =
       {
@@ -880,6 +915,7 @@ let serve_cmd =
         max_queue;
         max_line;
         default_deadline_s = default_deadline;
+        parallel;
         log = (if quiet then None else Some stdout);
       }
     in
@@ -936,7 +972,7 @@ let serve_cmd =
     Term.(
       term_result
         (const run $ socket_arg $ registry_capacity $ max_queue $ max_line
-       $ default_deadline $ quiet $ telemetry_term))
+       $ default_deadline $ parallel_arg $ quiet $ telemetry_term))
 
 (* ---- client ---- *)
 

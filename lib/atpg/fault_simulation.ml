@@ -75,6 +75,38 @@ let make ?(engine = Cpt) c =
     path_buf = Array.make n 0;
   }
 
+(* A worker-domain replica: shares the immutable compiled form, the
+   packed good words and the observables of [m]; every stamped scratch
+   and per-batch memo is private. Workers only ever read [good] — it
+   is written by [load_good] on the parent machine before work is
+   published to the pool, whose job handoff orders that write before
+   any worker read. *)
+let fork_machine m =
+  let n = Compiled.node_count m.comp in
+  {
+    engine = m.engine;
+    comp = m.comp;
+    good = m.good;
+    observables = m.observables;
+    cones = Array.make n None;
+    faulty = Array.make n 0L;
+    faulty_stamp = Array.make n 0;
+    stamp = 0;
+    cone_mark = Array.make n 0;
+    cone_stamp = 0;
+    cone_buf = Array.make n 0;
+    batch = m.batch;
+    obs_w = Array.make n 0L;
+    obs_stamp = Array.make n 0;
+    sens = Array.make n 0L;
+    sens_stamp = Array.make n 0;
+    sched = Array.make n 0;
+    buckets =
+      Array.map (fun p -> Array.make p 0) (Compiled.level_population m.comp);
+    bucket_len = Array.make (Compiled.max_level m.comp + 1) 0;
+    path_buf = Array.make n 0;
+  }
+
 let with_machine ?engine c f = f (make ?engine c)
 let engine m = m.engine
 let circuit m = Compiled.circuit m.comp
@@ -430,11 +462,53 @@ let resolve_machine ?machine c =
     m
 
 let h_pattern = Telemetry.Histogram.make "atpg.fault_sim.pattern_s"
+let h_par_batch = Telemetry.Histogram.make "atpg.fault_sim.par_batch_s"
 
-let split ?machine c ~faults ~vectors =
+(* ---- domain-sharded detection ---- *)
+
+(* Fault indices grouped by the FFR stem of their site (ties broken by
+   original position). Faults behind one stem share the per-batch
+   sensitization climb and the stem's observability word, so keeping a
+   stem's faults in consecutive chunks makes those memos hit inside
+   one domain instead of being recomputed by several. *)
+let stem_order m fault_arr =
+  let ffr_stem = Compiled.ffr_stem m.comp in
+  let nf = Array.length fault_arr in
+  let order = Array.init nf (fun i -> i) in
+  let stem_of i = ffr_stem.(Fault.site_node fault_arr.(i)) in
+  Array.sort
+    (fun a b ->
+      let c = compare (stem_of a) (stem_of b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+(* Detection words for every fault of [fault_arr] against the batch
+   currently loaded in [m], fanned out over [pool]. Participant 0 (the
+   caller) evaluates on [m] itself; participant [p] on [workers.(p-1)],
+   a {!fork_machine} replica whose scratch is domain-private. Each
+   word lands in [det] at the fault's original index, so the caller's
+   in-order partition is bit-identical to the sequential walk no
+   matter how chunks were scheduled or stolen. *)
+let detection_words_sharded pool m ~workers ~order mask fault_arr det =
+  Array.iter (fun wm -> wm.batch <- m.batch) workers;
+  Par.Domain_pool.parallel_for_p pool ~n:(Array.length fault_arr)
+    (fun ~participant i ->
+      let mm = if participant = 0 then m else workers.(participant - 1) in
+      let fi = order.(i) in
+      det.(fi) <- fault_detection_word mm mask fault_arr.(fi))
+
+let make_workers ?pool m =
+  match pool with
+  | Some p when Par.Domain_pool.size p > 1 ->
+    Array.init (Par.Domain_pool.size p - 1) (fun _ -> fork_machine m)
+  | _ -> [||]
+
+let split ?machine ?pool c ~faults ~vectors =
   if vectors = [] then ([], faults)
   else begin
     let m = resolve_machine ?machine c in
+    let workers = make_workers ?pool m in
     let remaining = ref faults in
     let detected = ref [] in
     List.iter
@@ -443,15 +517,33 @@ let split ?machine c ~faults ~vectors =
           let t0 = if Telemetry.enabled () then Telemetry.now () else 0.0 in
           let mask = load_good m batch in
           let det, undet =
-            List.partition (fun f -> fault_detected m mask f) !remaining
+            match pool with
+            | Some p when Array.length workers > 0 ->
+              let fault_arr = Array.of_list !remaining in
+              let nf = Array.length fault_arr in
+              let det_w = Array.make nf 0L in
+              let order = stem_order m fault_arr in
+              detection_words_sharded p m ~workers ~order mask fault_arr
+                det_w;
+              let d = ref [] and u = ref [] in
+              for fi = nf - 1 downto 0 do
+                if det_w.(fi) <> 0L then d := fault_arr.(fi) :: !d
+                else u := fault_arr.(fi) :: !u
+              done;
+              (!d, !u)
+            | _ ->
+              List.partition (fun f -> fault_detected m mask f) !remaining
           in
           (* a batch is up to 64 patterns simulated in one pass; report
              the amortised per-pattern cost, which is the unit the
              paper's tables are normalised to *)
-          if Telemetry.enabled () then
+          if Telemetry.enabled () then begin
+            let dt = Telemetry.now () -. t0 in
             Telemetry.Histogram.observe h_pattern
-              ((Telemetry.now () -. t0)
-              /. float_of_int (max 1 (List.length batch)));
+              (dt /. float_of_int (max 1 (List.length batch)));
+            if Array.length workers > 0 then
+              Telemetry.Histogram.observe h_par_batch dt
+          end;
           detected := List.rev_append det !detected;
           remaining := undet
         end)
@@ -459,14 +551,14 @@ let split ?machine c ~faults ~vectors =
     (List.rev !detected, !remaining)
   end
 
-let coverage ?machine c ~faults ~vectors =
+let coverage ?machine ?pool c ~faults ~vectors =
   match faults with
   | [] -> 1.0
   | _ ->
-    let detected, _ = split ?machine c ~faults ~vectors in
+    let detected, _ = split ?machine ?pool c ~faults ~vectors in
     float_of_int (List.length detected) /. float_of_int (List.length faults)
 
-let effective_subset ?machine c ~faults ~vectors =
+let effective_subset ?machine ?pool c ~faults ~vectors =
   (* Reverse-order static compaction. The serial walk (simulate one
      vector, drop detected faults, repeat) is quadratic; instead the
      full fault x vector detection matrix is computed with 64-way
@@ -478,9 +570,14 @@ let effective_subset ?machine c ~faults ~vectors =
   if n_vec = 0 then []
   else begin
     let m = resolve_machine ?machine c in
+    let workers = make_workers ?pool m in
     let n_words = (n_vec + word_bits - 1) / word_bits in
     let flist = Array.of_list faults in
+    let order =
+      if Array.length workers > 0 then stem_order m flist else [||]
+    in
     let detection = Array.make_matrix (Array.length flist) n_words 0L in
+    let col = Array.make (Array.length flist) 0L in
     for w = 0 to n_words - 1 do
       let batch =
         Array.to_list
@@ -488,9 +585,14 @@ let effective_subset ?machine c ~faults ~vectors =
              (min word_bits (n_vec - (w * word_bits))))
       in
       let mask = load_good m batch in
-      Array.iteri
-        (fun fi f -> detection.(fi).(w) <- fault_detection_word m mask f)
-        flist
+      match pool with
+      | Some p when Array.length workers > 0 ->
+        detection_words_sharded p m ~workers ~order mask flist col;
+        Array.iteri (fun fi d -> detection.(fi).(w) <- d) col
+      | _ ->
+        Array.iteri
+          (fun fi f -> detection.(fi).(w) <- fault_detection_word m mask f)
+          flist
     done;
     let covered = Array.make (Array.length flist) false in
     let keep = ref [] in

@@ -38,11 +38,21 @@ val make : ?engine:engine -> Circuit.t -> machine
 val with_machine : ?engine:engine -> Circuit.t -> (machine -> 'a) -> 'a
 (** [with_machine c f] applies [f] to a fresh machine for [c]. *)
 
+val fork_machine : machine -> machine
+(** A worker-domain replica: shares the parent's immutable compiled
+    form and its packed good words (read-only in the replica), with
+    private stamped scratch and per-batch memos. The parallel entry
+    points fork one replica per pool participant; exposed for tests
+    and custom drivers. The replica must only be used between the
+    parent's [load_good] rounds as the sharded drivers do — it never
+    loads batches itself. *)
+
 val engine : machine -> engine
 val circuit : machine -> Circuit.t
 
 val split :
   ?machine:machine ->
+  ?pool:Par.Domain_pool.t ->
   Circuit.t ->
   faults:Fault.t list ->
   vectors:bool array list ->
@@ -52,10 +62,17 @@ val split :
     [Circuit.sources]). When [machine] is given it must have been made
     from this very [Circuit.t] value (physical equality — the compiled
     form is a snapshot); otherwise a fresh machine is built.
+
+    With [pool], each batch's per-fault detection words are sharded
+    over the pool's domains grouped by FFR stem (each domain owns a
+    disjoint contiguous run of stems and evaluates on its own forked
+    machine), then merged in original fault order — the partition is
+    bit-identical to the sequential walk for any domain count.
     @raise Invalid_argument on a machine/circuit mismatch. *)
 
 val coverage :
   ?machine:machine ->
+  ?pool:Par.Domain_pool.t ->
   Circuit.t ->
   faults:Fault.t list ->
   vectors:bool array list ->
@@ -64,6 +81,7 @@ val coverage :
 
 val effective_subset :
   ?machine:machine ->
+  ?pool:Par.Domain_pool.t ->
   Circuit.t ->
   faults:Fault.t list ->
   vectors:bool array list ->

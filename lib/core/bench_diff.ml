@@ -1,7 +1,11 @@
 module Json = Telemetry.Json
 module Errors = Scanpower_errors
 
-let file_schema = "scanpower.bench_kernels/1"
+(* /2 added the W-word and domain-sharded kernel metrics as new fields
+   beside the /1 ones, so a /1 baseline pairs metric-for-metric with a
+   /2 file: both load, and the bump never manufactures a regression. *)
+let accepted_schemas =
+  [ "scanpower.bench_kernels/1"; "scanpower.bench_kernels/2" ]
 
 type value = I of int | F of float
 
@@ -47,9 +51,12 @@ let load path =
   | Error msg -> fail path msg
   | Ok obj -> (
     (match Json.member "schema" obj with
-    | Some (Json.String s) when s = file_schema -> ()
+    | Some (Json.String s) when List.mem s accepted_schemas -> ()
     | Some (Json.String s) ->
-      fail path (Printf.sprintf "schema %S, expected %S" s file_schema)
+      fail path
+        (Printf.sprintf "schema %S, expected one of %s" s
+           (String.concat ", "
+              (List.map (Printf.sprintf "%S") accepted_schemas)))
     | _ -> fail path "missing schema field");
     let fast =
       match Json.member "fast" obj with Some (Json.Bool b) -> b | _ -> false
@@ -67,16 +74,20 @@ let load path =
 (* comparison                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type kind = Count | Time | Rate
+type kind = Count | Time | Rate | Config
 
 (* Classified by naming convention, which the bench writer keeps
    deliberately strict: [_speedup] and [_events_s] are
    higher-is-better rates, any other [_s] suffix is a lower-is-better
    wall-clock time, and everything else is an exact count (a structural
    property of the circuit or the algorithm, where any drift means the
-   two runs did not compute the same thing). *)
+   two runs did not compute the same thing). [packed_width] and
+   [domains] are run {e configuration} — how wide the W-word batch and
+   the sharding fan-out were — so a change between files is deliberate,
+   reported but never a regression. *)
 let kind_of_metric name =
-  if
+  if name = "packed_width" || name = "domains" then Config
+  else if
     String.ends_with ~suffix:"_speedup" name
     || String.ends_with ~suffix:"_events_s" name
   then Rate
@@ -87,6 +98,7 @@ let kind_to_string = function
   | Count -> "count"
   | Time -> "time"
   | Rate -> "rate"
+  | Config -> "config"
 
 type finding = {
   f_circuit : string;
@@ -122,6 +134,7 @@ let compare_metric ~time_threshold ~rate_threshold circuit metric old_v new_v =
          value is decidedly nonzero *)
       if ov <= 0.0 then nv > 1e-9 else nv > ov *. (1.0 +. time_threshold)
     | Rate -> if ov <= 0.0 then false else nv < ov *. (1.0 -. rate_threshold)
+    | Config -> false
   in
   {
     f_circuit = circuit;

@@ -9,7 +9,15 @@
     - {e times} ([_s] suffix) regress when
       [new > old * (1 + time_threshold)];
     - {e rates} ([_speedup] / [_events_s] suffixes, higher is better)
-      regress when [new < old * (1 - rate_threshold)].
+      regress when [new < old * (1 - rate_threshold)];
+    - {e config} ([packed_width], [domains]) records how the run was
+      set up and never regresses — a change is visible in the table
+      but deliberate by definition.
+
+    Accepts both the [scanpower.bench_kernels/1] and [/2] schemas and
+    pairs their shared metrics, so a /1 baseline gates a /2 run — the
+    /2 additions (W-word and domain-sharded timings) simply pass as
+    new metrics.
 
     Both thresholds default to [0.5] (±50%), loose enough to absorb
     run-to-run noise on one machine while still catching a 2x
@@ -30,9 +38,13 @@ val load : string -> file
     ([Io] / [Parse]) on unreadable or malformed input, including a
     schema mismatch. *)
 
-type kind = Count | Time | Rate
+type kind = Count | Time | Rate | Config
 
 val kind_of_metric : string -> kind
+(** Suffix convention: [_speedup]/[_events_s] → [Rate], other [_s] →
+    [Time], the literal names [packed_width]/[domains] → [Config]
+    (deliberate run configuration, never a regression), everything
+    else → [Count]. *)
 
 type finding = {
   f_circuit : string;

@@ -93,6 +93,19 @@ let stat_evictions = ref 0
 let prepare_tick = ref 0
 let prepare_capacity = ref 0
 
+(* The memo is process-global and the Domains runner strategy calls
+   [prepare_cached] from worker domains, so every table access takes
+   this lock (a concurrent Hashtbl resize during a read is memory-safe
+   in OCaml 5 but not value-safe). The expensive [prepare] itself runs
+   outside the lock: two domains racing on the same cold key both
+   compute, and the second insert wins — wasted work, never a wrong
+   result, and no domain ever blocks behind another circuit's ATPG. *)
+let prepare_mutex = Mutex.create ()
+
+let with_memo_lock f =
+  Mutex.lock prepare_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock prepare_mutex) f
+
 let publish_prepare_gauges () =
   if Telemetry.enabled () then begin
     Telemetry.Gauge.set g_entries (float_of_int (Hashtbl.length prepare_memo));
@@ -102,12 +115,13 @@ let publish_prepare_gauges () =
   end
 
 let prepare_stats () =
-  {
-    p_entries = Hashtbl.length prepare_memo;
-    p_hits = !stat_hits;
-    p_misses = !stat_misses;
-    p_evictions = !stat_evictions;
-  }
+  with_memo_lock (fun () ->
+      {
+        p_entries = Hashtbl.length prepare_memo;
+        p_hits = !stat_hits;
+        p_misses = !stat_misses;
+        p_evictions = !stat_evictions;
+      })
 
 let evict_lru () =
   let victim =
@@ -132,17 +146,19 @@ let enforce_prepare_capacity () =
     done
 
 let set_prepare_capacity n =
-  prepare_capacity := n;
-  enforce_prepare_capacity ();
-  publish_prepare_gauges ()
+  with_memo_lock (fun () ->
+      prepare_capacity := n;
+      enforce_prepare_capacity ();
+      publish_prepare_gauges ())
 
 let clear_prepared () =
-  Hashtbl.reset prepare_memo;
-  stat_hits := 0;
-  stat_misses := 0;
-  stat_evictions := 0;
-  prepare_tick := 0;
-  publish_prepare_gauges ()
+  with_memo_lock (fun () ->
+      Hashtbl.reset prepare_memo;
+      stat_hits := 0;
+      stat_misses := 0;
+      stat_evictions := 0;
+      prepare_tick := 0;
+      publish_prepare_gauges ())
 
 let prepare_key ?atpg_config c =
   let cfg =
@@ -165,23 +181,31 @@ let prepare_key ?atpg_config c =
 
 let prepare_cached ?atpg_config c =
   let key = prepare_key ?atpg_config c in
-  incr prepare_tick;
+  let cached =
+    with_memo_lock (fun () ->
+        incr prepare_tick;
+        match Hashtbl.find_opt prepare_memo key with
+        | Some (p, tick) ->
+          tick := !prepare_tick;
+          incr stat_hits;
+          Telemetry.Counter.inc prepare_hits;
+          Some p
+        | None ->
+          incr stat_misses;
+          Telemetry.Counter.inc prepare_misses;
+          None)
+  in
   let result =
-    match Hashtbl.find_opt prepare_memo key with
-    | Some (p, tick) ->
-      tick := !prepare_tick;
-      incr stat_hits;
-      Telemetry.Counter.inc prepare_hits;
-      p
+    match cached with
+    | Some p -> p
     | None ->
-      incr stat_misses;
-      Telemetry.Counter.inc prepare_misses;
       let p = prepare ?atpg_config c in
-      Hashtbl.replace prepare_memo key (p, ref !prepare_tick);
-      enforce_prepare_capacity ();
+      with_memo_lock (fun () ->
+          Hashtbl.replace prepare_memo key (p, ref !prepare_tick);
+          enforce_prepare_capacity ());
       p
   in
-  publish_prepare_gauges ();
+  with_memo_lock publish_prepare_gauges;
   result
 
 type technique_result = {

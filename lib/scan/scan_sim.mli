@@ -69,6 +69,7 @@ type result = {
 
 val measure :
   ?engine:engine ->
+  ?width:int ->
   ?init_state:bool array ->
   Circuit.t ->
   Scan_chain.t ->
@@ -77,12 +78,17 @@ val measure :
   result
 (** [vectors] are fully-specified source assignments (positional over
     [Circuit.sources]): the PI part is applied at capture, the state
-    part is shifted in.  [engine] defaults to [Packed].
+    part is shifted in.  [engine] defaults to [Packed]; [width]
+    (1..8, default 1) selects the packed engine's word batch — W
+    words carry [64*W] scan cycles per combinational sweep
+    ({!Sim.Packed_sim}) and every width produces bit-identical toggle
+    counts. Ignored by [Scalar].
     @raise Invalid_argument on malformed vectors, forced non-dff nodes
     or an unmapped circuit. *)
 
 val responses :
   ?engine:engine ->
+  ?width:int ->
   ?init_state:bool array ->
   Circuit.t ->
   Scan_chain.t ->

@@ -22,6 +22,7 @@ type config = {
   max_queue : int;
   max_line : int;
   default_deadline_s : float;
+  parallel : Runner.strategy;
   log : out_channel option;
 }
 
@@ -32,6 +33,7 @@ let default_config =
     max_queue = 64;
     max_line = Protocol.max_line_default;
     default_deadline_s = 0.0;
+    parallel = Runner.Auto;
     log = None;
   }
 
@@ -328,7 +330,9 @@ let create config =
   Unix.set_nonblock listen_fd;
   {
     config;
-    dispatcher = Dispatcher.create ~registry_capacity:config.registry_capacity ();
+    dispatcher =
+      Dispatcher.create ~registry_capacity:config.registry_capacity
+        ~parallel:config.parallel ();
     listen_fd;
     conns = [];
     queue = Queue.create ();

@@ -35,13 +35,17 @@ type config = {
   max_line : int;  (** request-line cap in bytes *)
   default_deadline_s : float;
       (** applied to requests that carry none; [<= 0] = none *)
+  parallel : Runner.strategy;
+      (** isolated-request execution: fork vs. worker domain — see
+          {!Dispatcher.create} *)
   log : out_channel option;
       (** operational NDJSON log (listening / drained lines) *)
 }
 
 val default_config : config
 (** {!Protocol.default_socket}, capacity 32, queue 64,
-    {!Protocol.max_line_default}, no default deadline, no log. *)
+    {!Protocol.max_line_default}, no default deadline,
+    [parallel = Auto], no log. *)
 
 val run : ?config:config -> unit -> Telemetry.Json.t
 (** Serve until SIGTERM/SIGINT, then drain and return the final stats

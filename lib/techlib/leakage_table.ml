@@ -94,37 +94,54 @@ let raw_leakage_na cell ~state =
 
 (* Calibration: one global scale factor brings the model's NAND2 total
    onto the paper's Figure 2 total; the NAND2 row itself is then pinned
-   to the exact published values. *)
+   to the exact published values. Computed eagerly at module init —
+   it is four transistor-stack evaluations, and a [lazy] here would be
+   forced concurrently from worker domains (a racy [Lazy.force] raises
+   in OCaml 5). *)
 let nand2_raw_total =
-  lazy
-    (let t = ref 0.0 in
-     for s = 0 to 3 do
-       t := !t +. raw_cell_leakage (Cell.Nand 2) s
-     done;
-     !t *. 1e9)
+  let t = ref 0.0 in
+  for s = 0 to 3 do
+    t := !t +. raw_cell_leakage (Cell.Nand 2) s
+  done;
+  !t *. 1e9
 
 let calibration_scale =
-  lazy
-    (let paper_total = Array.fold_left ( +. ) 0.0 paper_nand2_na in
-     paper_total /. Lazy.force nand2_raw_total)
+  let paper_total = Array.fold_left ( +. ) 0.0 paper_nand2_na in
+  paper_total /. nand2_raw_total
 
-let table_cache : (Cell.t, float array) Hashtbl.t = Hashtbl.create 16
+(* The memo must be readable from any domain without locking — the
+   scalar power path calls [leakage_na] per gate per cycle. A
+   persistent map behind an [Atomic] gives lock-free reads of an
+   immutable snapshot; a cold cell is built outside the CAS loop (two
+   racing domains both build, one insert wins, both return a correct
+   table). *)
+module Cell_map = Map.Make (struct
+  type t = Cell.t
 
-let table cell =
-  match Hashtbl.find_opt table_cache cell with
+  let compare = compare
+end)
+
+let table_cache : float array Cell_map.t Atomic.t = Atomic.make Cell_map.empty
+
+let rec table cell =
+  match Cell_map.find_opt cell (Atomic.get table_cache) with
   | Some t -> t
   | None ->
-    let scale = Lazy.force calibration_scale in
     let n = n_states cell in
     let t =
       Array.init n (fun s ->
           match cell with
           | Cell.Nand 2 -> paper_nand2_na.(s)
           | Cell.Inv | Cell.Nand _ | Cell.Nor _ ->
-            raw_cell_leakage cell s *. 1e9 *. scale)
+            raw_cell_leakage cell s *. 1e9 *. calibration_scale)
     in
-    Hashtbl.add table_cache cell t;
-    t
+    let cur = Atomic.get table_cache in
+    (match Cell_map.find_opt cell cur with
+    | Some t -> t
+    | None ->
+      if Atomic.compare_and_set table_cache cur (Cell_map.add cell t cur) then
+        t
+      else table cell)
 
 let leakage_na cell ~state =
   if state < 0 || state >= n_states cell then

@@ -20,26 +20,32 @@ let base_metrics =
 let with_metric name v =
   List.map (fun (k, x) -> if k = name then (k, v) else (k, x)) base_metrics
 
+let kind_name = function
+  | D.Count -> "count"
+  | D.Time -> "time"
+  | D.Rate -> "rate"
+  | D.Config -> "config"
+
 let check_kind_classification () =
   let check name expected =
-    Alcotest.(check string) name
-      (match expected with
-      | D.Count -> "count"
-      | D.Time -> "time"
-      | D.Rate -> "rate")
-      (match D.kind_of_metric name with
-      | D.Count -> "count"
-      | D.Time -> "time"
-      | D.Rate -> "rate")
+    Alcotest.(check string) name (kind_name expected)
+      (kind_name (D.kind_of_metric name))
   in
   check "nodes" D.Count;
   check "total_toggles" D.Count;
   check "compile_s" D.Time;
   check "fault_sim_cpt_s" D.Time;
   check "fault_sim_pattern_p99_s" D.Time;
+  check "fault_sim_d2_s" D.Time;
+  check "packed_shift_w8_s" D.Time;
   check "packed_speedup" D.Rate;
+  check "packed_w4_speedup" D.Rate;
+  check "fault_sim_par_d2_speedup" D.Rate;
   (* the [_events_s] suffix wins over the bare [_s] time suffix *)
-  check "fault_sim_events_s" D.Rate
+  check "fault_sim_events_s" D.Rate;
+  (* run configuration, compared but never gating *)
+  check "packed_width" D.Config;
+  check "domains" D.Config
 
 let check_identical_is_clean () =
   let f = mk [ ("s344", base_metrics) ] in
@@ -116,6 +122,42 @@ let check_additions_are_clean () =
   Alcotest.(check (list string)) "new circuit noted" [ "s9234" ]
     r.D.only_new_circuits
 
+let write_temp text =
+  let path = Filename.temp_file "bench_diff" ".json" in
+  Out_channel.with_open_bin path (fun oc -> output_string oc text);
+  path
+
+let check_config_change_is_clean () =
+  (* a deliberate re-run at a different width/fan-out must not gate *)
+  let old_m = ("packed_width", D.I 8) :: ("domains", D.I 4) :: base_metrics in
+  let new_m = ("packed_width", D.I 4) :: ("domains", D.I 2) :: base_metrics in
+  let r = D.diff (mk [ ("s344", old_m) ]) (mk [ ("s344", new_m) ]) in
+  Alcotest.(check bool) "config drift never regresses" false
+    (D.has_regression r);
+  Alcotest.(check int) "still compared" (List.length new_m) r.D.compared
+
+let check_schema_bump_pairs () =
+  (* a /1 baseline gates a /2 file: shared metrics pair, /2 additions
+     pass *)
+  let p1 =
+    write_temp
+      "{\"schema\":\"scanpower.bench_kernels/1\",\"fast\":true,\
+       \"circuits\":{\"s344\":{\"nodes\":195,\"compile_s\":1.0e-04}}}"
+  in
+  let p2 =
+    write_temp
+      "{\"schema\":\"scanpower.bench_kernels/2\",\"fast\":true,\
+       \"circuits\":{\"s344\":{\"nodes\":195,\"compile_s\":1.1e-04,\
+       \"packed_width\":8,\"domains\":4,\"packed_shift_w4_s\":2.0e-03}}}"
+  in
+  let old_f = D.load p1 and new_f = D.load p2 in
+  Sys.remove p1;
+  Sys.remove p2;
+  let r = D.diff old_f new_f in
+  Alcotest.(check bool) "schema bump alone is clean" false
+    (D.has_regression r);
+  Alcotest.(check int) "shared metrics paired" 2 r.D.compared
+
 let check_fast_mismatch_flagged () =
   let r =
     D.diff
@@ -125,11 +167,6 @@ let check_fast_mismatch_flagged () =
   Alcotest.(check bool) "fast mismatch noted" true r.D.fast_mismatch;
   Alcotest.(check bool) "but identical numbers still pass" false
     (D.has_regression r)
-
-let write_temp text =
-  let path = Filename.temp_file "bench_diff" ".json" in
-  Out_channel.with_open_bin path (fun oc -> output_string oc text);
-  path
 
 let check_load_real_shape () =
   let path =
@@ -199,6 +236,10 @@ let suite =
     Alcotest.test_case "missing metric regresses" `Quick
       check_missing_metric_regresses;
     Alcotest.test_case "additions are clean" `Quick check_additions_are_clean;
+    Alcotest.test_case "config change is clean" `Quick
+      check_config_change_is_clean;
+    Alcotest.test_case "schema bump pairs metrics" `Quick
+      check_schema_bump_pairs;
     Alcotest.test_case "fast mismatch flagged" `Quick
       check_fast_mismatch_flagged;
     Alcotest.test_case "load real shape" `Quick check_load_real_shape;

@@ -237,7 +237,7 @@ let policies c rng =
       } );
   ]
 
-let check_engines_agree_on name circuit ~seed ~n_vectors =
+let check_engines_agree_on ?(widths = [ 4; 8 ]) name circuit ~seed ~n_vectors =
   let c = circuit in
   let chain = Scan.Scan_chain.natural c in
   let rng = Util.Rng.create seed in
@@ -257,6 +257,16 @@ let check_engines_agree_on name circuit ~seed ~n_vectors =
           policy ~vectors
       in
       check_results tag s p;
+      (* W-word batches: every width is bit-identical to the scalar
+         reference (and hence to W=1) *)
+      List.iter
+        (fun width ->
+          let pw =
+            Scan.Scan_sim.measure ~engine:Scan.Scan_sim.Packed ~width
+              ~init_state c chain policy ~vectors
+          in
+          check_results (Printf.sprintf "%s/w%d" tag width) s pw)
+        widths;
       let rs =
         Scan.Scan_sim.responses ~engine:Scan.Scan_sim.Scalar ~init_state c
           chain policy ~vectors
@@ -265,7 +275,17 @@ let check_engines_agree_on name circuit ~seed ~n_vectors =
         Scan.Scan_sim.responses ~engine:Scan.Scan_sim.Packed ~init_state c
           chain policy ~vectors
       in
-      Alcotest.(check (list (array bool))) (tag ^ " responses") rs rp)
+      Alcotest.(check (list (array bool))) (tag ^ " responses") rs rp;
+      List.iter
+        (fun width ->
+          let rw =
+            Scan.Scan_sim.responses ~engine:Scan.Scan_sim.Packed ~width
+              ~init_state c chain policy ~vectors
+          in
+          Alcotest.(check (list (array bool)))
+            (Printf.sprintf "%s/w%d responses" tag width)
+            rs rw)
+        widths)
     (policies c rng)
 
 let check_golden_s344 () =
@@ -338,7 +358,10 @@ let prop_engines_agree =
         }
       in
       let c = Circuits.generate profile in
-      check_engines_agree_on profile.Circuits.name c ~seed ~n_vectors;
+      (* one random batch width per case keeps the property cheap while
+         covering the whole 1..8 range (odd widths included) across runs *)
+      check_engines_agree_on ~widths:[ 1 + (seed mod 8) ]
+        profile.Circuits.name c ~seed ~n_vectors;
       true)
 
 let suite =

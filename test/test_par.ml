@@ -1,0 +1,388 @@
+(* The domain pool and everything built on it. The contract under test
+   is determinism: whatever the domain count, the sharded fault
+   simulation and the Domains runner strategy must produce outputs
+   bit-identical to the sequential walk — the pool only changes who
+   computes, never what. SCANPOWER_TEST_DOMAINS adds extra pool sizes
+   (comma-separated) so CI can probe 2- and 4-domain schedules
+   explicitly. *)
+
+open Netlist
+module Fs = Atpg.Fault_simulation
+module Pool = Par.Domain_pool
+
+let s27m = lazy (Techmap.Mapper.map (Circuits.s27 ()))
+let s344 = lazy (Circuits.by_name "s344")
+let s1196 = lazy (Circuits.by_name "s1196")
+
+let pool_sizes =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "SCANPOWER_TEST_DOMAINS" with
+  | None | Some "" -> base
+  | Some s ->
+    base
+    @ (String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+      |> List.filter (fun d -> d >= 1 && not (List.mem d base)))
+
+let random_vectors rng c n =
+  let len = Array.length (Circuit.sources c) in
+  List.init n (fun _ -> Array.init len (fun _ -> Util.Rng.bool rng))
+
+(* ---------- the pool itself ---------- *)
+
+let test_parallel_for_covers () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let n = 1000 in
+          let hits = Array.make n 0 in
+          Pool.parallel_for pool ~n (fun i -> hits.(i) <- hits.(i) + (i + 1));
+          Array.iteri
+            (fun i h ->
+              Alcotest.(check int)
+                (Printf.sprintf "d%d index %d once" domains i)
+                (i + 1) h)
+            hits))
+    pool_sizes
+
+let test_parallel_for_empty_and_tiny () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Pool.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "body on n=0");
+      let hit = ref false in
+      Pool.parallel_for pool ~n:1 (fun i ->
+          Alcotest.(check int) "only index" 0 i;
+          hit := true);
+      Alcotest.(check bool) "n=1 ran" true !hit)
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let raised =
+            try
+              Pool.parallel_for pool ~chunk:1 ~n:64 (fun i ->
+                  if i = 37 then failwith "boom");
+              false
+            with Failure m -> m = "boom"
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "d%d re-raises" domains)
+            true raised;
+          (* the pool must stay usable after an exceptional round *)
+          let total = Atomic.make 0 in
+          Pool.parallel_for pool ~n:100 (fun i ->
+              ignore (Atomic.fetch_and_add total i));
+          Alcotest.(check int)
+            (Printf.sprintf "d%d usable after raise" domains)
+            4950 (Atomic.get total)))
+    pool_sizes
+
+let test_participant_indices () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let size = Pool.size pool in
+          Alcotest.(check bool)
+            "size within request" true
+            (size >= 1 && size <= max domains 1);
+          let n = 256 in
+          let who = Array.make n (-1) in
+          Pool.parallel_for_p pool ~chunk:1 ~n (fun ~participant i ->
+              who.(i) <- participant);
+          Array.iteri
+            (fun i p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "d%d index %d owned" domains i)
+                true
+                (p >= 0 && p < size))
+            who;
+          Alcotest.(check bool)
+            "steal_count non-negative" true
+            (Pool.steal_count pool >= 0)))
+    pool_sizes
+
+(* ---------- sharded fault simulation ---------- *)
+
+(* One circuit, one seed: the Cone reference, the sequential CPT walk
+   and the pool-sharded CPT walk at every pool size must agree
+   fault-for-fault, in order. *)
+let check_sharded_split tag c ~seed ~n_vectors =
+  let faults = Atpg.Fault.collapsed_faults c in
+  let rng = Util.Rng.create seed in
+  let vectors = random_vectors rng c n_vectors in
+  let m_cone = Fs.make ~engine:Fs.Cone c in
+  let det_ref, undet_ref = Fs.split ~machine:m_cone c ~faults ~vectors in
+  let m = Fs.make c in
+  let det_seq, undet_seq = Fs.split ~machine:m c ~faults ~vectors in
+  let show l = String.concat ";" (List.map (Atpg.Fault.to_string c) l) in
+  Alcotest.(check string)
+    (tag ^ " sequential cpt = cone")
+    (show det_ref) (show det_seq);
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let det_p, undet_p = Fs.split ~machine:m ~pool c ~faults ~vectors in
+          Alcotest.(check string)
+            (Printf.sprintf "%s detected d%d" tag domains)
+            (show det_seq) (show det_p);
+          Alcotest.(check string)
+            (Printf.sprintf "%s undetected d%d" tag domains)
+            (show undet_seq) (show undet_p);
+          Alcotest.(check string)
+            (Printf.sprintf "%s vs cone undetected d%d" tag domains)
+            (show undet_ref) (show undet_p)))
+    pool_sizes
+
+let test_sharded_s27 () =
+  check_sharded_split "s27/seed1" (Lazy.force s27m) ~seed:1 ~n_vectors:80;
+  check_sharded_split "s27/seed2" (Lazy.force s27m) ~seed:2 ~n_vectors:5
+
+let test_sharded_s344 () =
+  check_sharded_split "s344/seed3" (Lazy.force s344) ~seed:3 ~n_vectors:70
+
+let test_sharded_s1196 () =
+  check_sharded_split "s1196/seed5" (Lazy.force s1196) ~seed:5 ~n_vectors:40
+
+let test_sharded_coverage_and_subset () =
+  let c = Lazy.force s344 in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let rng = Util.Rng.create 11 in
+  let vectors = random_vectors rng c 60 in
+  let m = Fs.make c in
+  let cov_seq = Fs.coverage ~machine:m c ~faults ~vectors in
+  let sub_seq = Fs.effective_subset ~machine:m c ~faults ~vectors in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let cov_p = Fs.coverage ~machine:m ~pool c ~faults ~vectors in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "coverage d%d" domains)
+            cov_seq cov_p;
+          let sub_p = Fs.effective_subset ~machine:m ~pool c ~faults ~vectors in
+          Alcotest.(check int)
+            (Printf.sprintf "subset size d%d" domains)
+            (List.length sub_seq) (List.length sub_p);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "subset vector d%d" domains)
+                true (a = b))
+            sub_seq sub_p))
+    pool_sizes
+
+(* fork_machine shares the compiled form but owns its scratch: running
+   a replica must not disturb the parent mid-round *)
+let test_fork_machine_isolated () =
+  let c = Lazy.force s27m in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let rng = Util.Rng.create 7 in
+  let vectors = random_vectors rng c 30 in
+  let m = Fs.make c in
+  let det0, _ = Fs.split ~machine:m c ~faults ~vectors in
+  let replica = Fs.fork_machine m in
+  ignore (Fs.split ~machine:replica c ~faults ~vectors);
+  let det1, _ = Fs.split ~machine:m c ~faults ~vectors in
+  Alcotest.(check int)
+    "parent unchanged after replica ran"
+    (List.length det0) (List.length det1)
+
+(* ---------- the runner's Domains strategy ---------- *)
+
+let job_of i =
+  {
+    Runner.id = Printf.sprintf "job%d" i;
+    cache_key = None;
+    run =
+      (fun ~attempt:_ ->
+        if i = 5 then failwith "job five always fails"
+        else Telemetry.Json.Int (i * i));
+  }
+
+let values_of results =
+  List.map
+    (fun r ->
+      match r.Runner.outcome with
+      | Runner.Done { value; _ } -> Ok value
+      | Runner.Failed { last; _ } -> Error (Runner.failure_to_string last))
+    results
+
+let test_runner_domains_matches_sequential () =
+  let jobs () = List.init 12 job_of in
+  let seq, seq_stats =
+    Runner.run ~config:{ Runner.default_config with jobs = 1 } (jobs ())
+  in
+  let dom, dom_stats =
+    Runner.run
+      ~config:
+        { Runner.default_config with jobs = 4; strategy = Runner.Domains }
+      (jobs ())
+  in
+  Alcotest.(check bool)
+    "same outcomes" true
+    (values_of seq = values_of dom);
+  Alcotest.(check int) "computed" seq_stats.Runner.computed
+    dom_stats.Runner.computed;
+  Alcotest.(check int) "failed" seq_stats.Runner.failed
+    dom_stats.Runner.failed
+
+let test_runner_domains_retries () =
+  (* a job that fails on attempt 1 and succeeds on attempt 2 must be
+     retried on the domains path exactly as on the others *)
+  let job =
+    {
+      Runner.id = "flaky";
+      cache_key = None;
+      run =
+        (fun ~attempt ->
+          if attempt < 2 then failwith "first attempt fails"
+          else Telemetry.Json.Int attempt);
+    }
+  in
+  let results, stats =
+    Runner.run
+      ~config:
+        {
+          Runner.default_config with
+          jobs = 2;
+          strategy = Runner.Domains;
+          retries = 2;
+        }
+      [ job ]
+  in
+  (match values_of results with
+  | [ Ok (Telemetry.Json.Int 2) ] -> ()
+  | _ -> Alcotest.fail "flaky job did not succeed on retry");
+  Alcotest.(check int) "one retry" 1 stats.Runner.retries
+
+let test_effective_strategy () =
+  let base =
+    { Runner.default_config with jobs = 4; strategy = Runner.Auto }
+  in
+  let check name expect cfg =
+    Alcotest.(check string)
+      name
+      (Runner.strategy_to_string expect)
+      (Runner.strategy_to_string (Runner.effective_strategy cfg))
+  in
+  check "plain batch -> domains" Runner.Domains base;
+  check "timeout -> processes" Runner.Processes
+    { base with timeout_s = 1.0 };
+  check "capture -> processes" Runner.Processes
+    { base with capture_telemetry = true };
+  check "signals -> processes" Runner.Processes
+    { base with handle_signals = true };
+  check "explicit domains" Runner.Domains
+    { base with strategy = Runner.Domains; timeout_s = 1.0 };
+  check "explicit processes" Runner.Processes
+    { base with strategy = Runner.Processes }
+
+let test_strategy_strings () =
+  List.iter
+    (fun s ->
+      match Runner.strategy_of_string (Runner.strategy_to_string s) with
+      | Some s' ->
+        Alcotest.(check string)
+          "round trip"
+          (Runner.strategy_to_string s)
+          (Runner.strategy_to_string s')
+      | None -> Alcotest.fail "round trip parse failed")
+    [ Runner.Processes; Runner.Domains; Runner.Auto ];
+  Alcotest.(check bool)
+    "unknown rejected" true
+    (Runner.strategy_of_string "threads" = None)
+
+(* ---------- sweep over domains ---------- *)
+
+let test_sweep_domains_bit_identical () =
+  let points = Scanpower.Sweep.points ~seeds:[ 42 ] [ Circuits.s27 () ] in
+  let seq = Scanpower.Sweep.run ~jobs:1 ~capture_telemetry:false points in
+  let dom =
+    Scanpower.Sweep.run ~jobs:2 ~parallel:Runner.Domains points
+  in
+  let comparisons report =
+    List.map
+      (fun jr ->
+        match jr.Scanpower.Sweep.comparison with
+        | Ok c -> Telemetry.Json.to_string (Scanpower.Sweep.comparison_to_json c)
+        | Error m -> "error:" ^ m)
+      report.Scanpower.Sweep.results
+  in
+  Alcotest.(check (list string))
+    "domains sweep = sequential sweep" (comparisons seq) (comparisons dom)
+
+(* ---------- the fork ratchet ---------- *)
+
+(* This test depends on running after the pool tests above have
+   spawned a domain (the par suite is last in test_main for the same
+   reason): OCaml 5 now forbids Unix.fork in this process, so a
+   dispatcher told to fork must notice and re-route onto a domain
+   instead of dying at the syscall. *)
+let test_dispatcher_fork_fallback () =
+  Par.Domain_pool.with_pool ~domains:2 (fun _ -> ());
+  Alcotest.(check bool)
+    "fork is unavailable by now" true
+    (Par.Domain_pool.fork_unavailable ());
+  let module D = Scanpower_server.Dispatcher in
+  let module P = Scanpower_server.Protocol in
+  let t = D.create ~parallel:Runner.Processes () in
+  let req =
+    {
+      P.id = "r1";
+      kind = P.Validate;
+      circuit = Some (P.Named "s27");
+      seed = 42;
+      engine = None;
+      deadline_s = None;
+      stream = false;
+      isolation = P.Fork_isolation;
+    }
+  in
+  (match D.handle t req with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "fallback request failed: %s"
+      (Scanpower_errors.to_string e));
+  match D.handle t { req with P.id = "r2"; kind = P.Stats; circuit = None }
+  with
+  | Ok stats -> (
+    match Telemetry.Json.member "parallel" stats with
+    | Some p -> (
+      match Telemetry.Json.member "fork_fallbacks" p with
+      | Some (Telemetry.Json.Int n) ->
+        Alcotest.(check bool) "fallback tallied" true (n >= 1)
+      | _ -> Alcotest.fail "fork_fallbacks missing from stats")
+    | None -> Alcotest.fail "parallel block missing from stats")
+  | Error e ->
+    Alcotest.failf "stats failed: %s" (Scanpower_errors.to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers every index" `Quick
+      test_parallel_for_covers;
+    Alcotest.test_case "parallel_for n=0 and n=1" `Quick
+      test_parallel_for_empty_and_tiny;
+    Alcotest.test_case "exception propagates, pool reusable" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "participant indices well-formed" `Quick
+      test_participant_indices;
+    Alcotest.test_case "sharded split s27 = sequential = cone" `Quick
+      test_sharded_s27;
+    Alcotest.test_case "sharded split s344" `Quick test_sharded_s344;
+    Alcotest.test_case "sharded split s1196" `Slow test_sharded_s1196;
+    Alcotest.test_case "sharded coverage and effective_subset" `Quick
+      test_sharded_coverage_and_subset;
+    Alcotest.test_case "fork_machine leaves parent intact" `Quick
+      test_fork_machine_isolated;
+    Alcotest.test_case "runner domains = sequential outcomes" `Quick
+      test_runner_domains_matches_sequential;
+    Alcotest.test_case "runner domains retries" `Quick
+      test_runner_domains_retries;
+    Alcotest.test_case "auto strategy resolution" `Quick
+      test_effective_strategy;
+    Alcotest.test_case "strategy string round trip" `Quick
+      test_strategy_strings;
+    Alcotest.test_case "sweep over domains bit-identical" `Slow
+      test_sweep_domains_bit_identical;
+    Alcotest.test_case "dispatcher falls back when fork is poisoned" `Quick
+      test_dispatcher_fork_fallback;
+  ]
