@@ -261,13 +261,16 @@ let atpg_cmd =
              [
                ("cpt", Atpg.Fault_simulation.Cpt);
                ("cone", Atpg.Fault_simulation.Cone);
+               ("ppsfp", Atpg.Fault_simulation.Ppsfp);
              ])
           Atpg.Fault_simulation.Cpt
       & info [ "fault-engine" ]
           ~doc:
             "Fault-simulation engine: $(b,cpt) (critical path tracing, \
-             default) or $(b,cone) (full-cone reference). Both are \
-             bit-identical; cone is the slow golden reference.")
+             default), $(b,ppsfp) (512-pattern parallel single-fault \
+             propagation with fault dropping) or $(b,cone) (full-cone \
+             reference). All three are bit-identical; cone is the slow \
+             golden reference.")
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a compacted stuck-at test set (PODEM).")

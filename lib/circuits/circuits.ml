@@ -49,6 +49,30 @@ let table1_profiles =
     { name = "s9234"; n_pi = 36; n_po = 39; n_ff = 211; n_gates = 5597; seed = 9234 };
   ]
 
+(* Deterministic scale tier: seeded profiles an order of magnitude
+   beyond Table I, for exercising the pattern-parallel kernels where
+   per-batch setup has fully amortised. Interface ratios follow the
+   larger ISCAS89 entries (FFs ~1% of gates, wide PI/PO belts). *)
+let scale_profiles =
+  [
+    {
+      name = "g50k";
+      n_pi = 64;
+      n_po = 64;
+      n_ff = 512;
+      n_gates = 50_000;
+      seed = 50_000;
+    };
+    {
+      name = "g100k";
+      n_pi = 96;
+      n_po = 96;
+      n_ff = 1024;
+      n_gates = 100_000;
+      seed = 100_000;
+    };
+  ]
+
 (* Gate-kind distribution matching typical mapped ISCAS89 content:
    mostly 2-input NAND/NOR, a tail of wider gates, plenty of
    inverters. *)
@@ -215,11 +239,18 @@ let generate prof =
 let by_name name =
   if name = "s27" then s27 ()
   else
-    match List.find_opt (fun p -> p.name = name) table1_profiles with
+    match
+      List.find_opt
+        (fun p -> p.name = name)
+        (table1_profiles @ scale_profiles)
+    with
     | Some p -> generate p
     | None -> raise Not_found
 
-let names = "s27" :: List.map (fun p -> p.name) table1_profiles
+let names =
+  "s27"
+  :: List.map (fun p -> p.name) table1_profiles
+  @ List.map (fun p -> p.name) scale_profiles
 
 let find name =
   match by_name name with

@@ -34,6 +34,12 @@ val table1_profiles : profile list
 (** The twelve circuits of the paper's Table I (s344 … s9234) with
     their published interface statistics. *)
 
+val scale_profiles : profile list
+(** Deterministic scale tier beyond Table I: [g50k] (50k gates /
+    512 FFs) and [g100k] (100k gates / 1024 FFs), for benchmarking the
+    pattern-parallel kernels at sizes where per-batch setup has fully
+    amortised. *)
+
 val generate : profile -> Circuit.t
 (** Deterministic: equal profiles give identical netlists. The result
     uses only NAND2-4 / NOR2-4 / INV, so it is already mapped. *)

@@ -2,10 +2,16 @@ module Json = Telemetry.Json
 module Errors = Scanpower_errors
 
 (* /2 added the W-word and domain-sharded kernel metrics as new fields
-   beside the /1 ones, so a /1 baseline pairs metric-for-metric with a
-   /2 file: both load, and the bump never manufactures a regression. *)
+   beside the /1 ones, and /3 the PPSFP fault-sim and scale-tier
+   fields beside those, so an older baseline pairs metric-for-metric
+   with a newer file: both load, and a bump never manufactures a
+   regression. *)
 let accepted_schemas =
-  [ "scanpower.bench_kernels/1"; "scanpower.bench_kernels/2" ]
+  [
+    "scanpower.bench_kernels/1";
+    "scanpower.bench_kernels/2";
+    "scanpower.bench_kernels/3";
+  ]
 
 type value = I of int | F of float
 
@@ -84,9 +90,20 @@ type kind = Count | Time | Rate | Config
    two runs did not compute the same thing). [packed_width] and
    [domains] are run {e configuration} — how wide the W-word batch and
    the sharding fan-out were — so a change between files is deliberate,
-   reported but never a regression. *)
+   reported but never a regression.
+
+   Gate-bearing rates are additionally pinned by name: the serve
+   stage's warm-up amortisation contract ([serve_warm_speedup]) rides
+   the [_speedup] suffix today, but it is the one metric whose
+   misclassification would silently un-gate a whole subsystem, so it
+   must never depend on the naming convention alone (a test pins
+   both). *)
+let rate_metrics = [ "serve_warm_speedup" ]
+
 let kind_of_metric name =
-  if name = "packed_width" || name = "domains" then Config
+  if name = "packed_width" || name = "domains" || name = "packed_auto_width"
+  then Config
+  else if List.mem name rate_metrics then Rate
   else if
     String.ends_with ~suffix:"_speedup" name
     || String.ends_with ~suffix:"_events_s" name

@@ -14,9 +14,10 @@
       set up and never regresses — a change is visible in the table
       but deliberate by definition.
 
-    Accepts both the [scanpower.bench_kernels/1] and [/2] schemas and
-    pairs their shared metrics, so a /1 baseline gates a /2 run — the
-    /2 additions (W-word and domain-sharded timings) simply pass as
+    Accepts the [scanpower.bench_kernels/1], [/2] and [/3] schemas and
+    pairs their shared metrics, so an older baseline gates a newer run
+    — the /2 additions (W-word and domain-sharded timings) and /3
+    additions (PPSFP fault-sim and scale-tier fields) simply pass as
     new metrics.
 
     Both thresholds default to [0.5] (±50%), loose enough to absorb
@@ -42,9 +43,12 @@ type kind = Count | Time | Rate | Config
 
 val kind_of_metric : string -> kind
 (** Suffix convention: [_speedup]/[_events_s] → [Rate], other [_s] →
-    [Time], the literal names [packed_width]/[domains] → [Config]
-    (deliberate run configuration, never a regression), everything
-    else → [Count]. *)
+    [Time], the literal names
+    [packed_width]/[domains]/[packed_auto_width] → [Config] (deliberate
+    run configuration, never a regression), everything else → [Count].
+    Gate-bearing rates are additionally pinned by literal name
+    ([serve_warm_speedup]) so the serve stage's amortisation contract
+    is gated even if the suffix convention drifts. *)
 
 type finding = {
   f_circuit : string;

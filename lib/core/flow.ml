@@ -174,7 +174,8 @@ let prepare_key ?atpg_config c =
       cfg.Atpg.Pattern_gen.reverse_compact
       (match cfg.Atpg.Pattern_gen.fault_engine with
       | Atpg.Fault_simulation.Cone -> "cone"
-      | Atpg.Fault_simulation.Cpt -> "cpt")
+      | Atpg.Fault_simulation.Cpt -> "cpt"
+      | Atpg.Fault_simulation.Ppsfp -> "ppsfp")
   in
   Digest.to_hex
     (Digest.string (Bench_writer.to_string c ^ "\x00" ^ cfg_text))

@@ -91,6 +91,7 @@ let strategy_of_string = function
 type config = {
   jobs : int;
   strategy : strategy;
+  min_domain_jobs : int;
   timeout_s : float;
   retries : int;
   backoff_s : float;
@@ -111,6 +112,10 @@ let default_config =
        crash isolation it always had — jobs that abort or corrupt the
        process die in a forked child. Auto is an explicit opt-in. *)
     strategy = Processes;
+    (* below this many jobs an [Auto] batch is not worth a domain
+       pool: spawn + teardown dominate (fault_sim_par_d2/d4 < 1x on
+       the small circuits). Explicit [Domains] is always honoured. *)
+    min_domain_jobs = 4;
     timeout_s = 0.0;
     retries = 1;
     backoff_s = 0.0;
@@ -314,6 +319,7 @@ let mirror_to_telemetry s =
     add "runner.interrupted" 1
 
 let h_job = Telemetry.Histogram.make "runner.job_s"
+let m_min_work_seq = Telemetry.Counter.make "runner.min_work_seq"
 
 let cache_blob value telemetry =
   Json.Obj
@@ -768,9 +774,14 @@ let run ?(config = default_config) job_list =
       if pending_empty () then ()
       else if cfg.jobs <= 1 then sequential ()
       else
-        match effective_strategy cfg with
-        | Domains -> domains ()
-        | Processes | Auto ->
+        match (cfg.strategy, effective_strategy cfg) with
+        | Auto, Domains when n < cfg.min_domain_jobs ->
+          (* min-work cutoff: Auto resolved to domains, but the batch
+             is too small to amortise the pool *)
+          Telemetry.Counter.inc m_min_work_seq;
+          sequential ()
+        | _, Domains -> domains ()
+        | _, (Processes | Auto) ->
           (* OCaml 5 refuses [Unix.fork] once any domain has ever been
              spawned in the process, so a fork strategy after a domain
              run degrades to the sequential path (which honours

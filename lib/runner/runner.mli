@@ -150,6 +150,12 @@ type config = {
           (non-Unix, or a domain was already spawned in this process),
           a {!Processes} choice degrades to the sequential in-process
           path rather than failing. *)
+  min_domain_jobs : int;
+      (** min-work cutoff for [Auto] only: when [Auto] resolves to
+          {!Domains} but the batch has fewer jobs than this, run
+          sequentially instead (pool spawn/teardown would dominate)
+          and count the decision in [runner.min_work_seq]. An explicit
+          {!Domains} strategy is always honoured. *)
   timeout_s : float;  (** per attempt; [<= 0] = none (forked mode only) *)
   retries : int;  (** extra attempts after the first *)
   backoff_s : float;
@@ -169,7 +175,7 @@ type config = {
 val default_config : config
 (** [jobs = 1], [strategy = Processes] (a bare config keeps the crash
     isolation it always had — [Auto]/[Domains] are explicit opt-ins),
-    no timeout, [retries = 1], no backoff, no deadline,
+    [min_domain_jobs = 4], no timeout, [retries = 1], no backoff, no deadline,
     [poison_threshold = 3], signals not handled, no cache, no journal,
     no capture, events ignored. *)
 

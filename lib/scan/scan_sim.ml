@@ -798,9 +798,23 @@ let measure_scalar ?init_state c chain policy ~vectors =
        else s.static_sum_capture /. float_of_int s.n_capture);
   }
 
+(* A packed frame replays one scan segment: load + [n_ff] shifts
+   (+ capture), and [Packed_sim.step] evaluates all [width] words of a
+   frame no matter how few lanes the segment fills — on a short chain
+   a wide machine burns whole words on dead lanes (BENCH: s344 at w8
+   ran 0.62x). So the ideal width is just enough words to hold one
+   segment, capped at {!Sim.Packed_sim.max_width}. *)
+let auto_width chain =
+  let seg_lanes = 1 + Scan_chain.length chain + 1 in
+  min Sim.Packed_sim.max_width (max 1 ((seg_lanes + 63) / 64))
+
+let resolve_width ?width chain =
+  match width with Some w -> w | None -> auto_width chain
+
 let measure_packed ?width ?init_state c chain policy ~vectors =
+  let width = resolve_width ?width chain in
   let st =
-    run_packed ?width ?init_state c chain policy ~vectors
+    run_packed ~width ?init_state c chain policy ~vectors
       ~on_response:(fun _ -> ())
   in
   let cycles = max (st.p_n_shift + st.p_n_capture) 1 in
@@ -836,8 +850,9 @@ let responses ?(engine = Packed) ?width ?init_state c chain policy ~vectors =
     in
     ()
   | Packed ->
+    let width = resolve_width ?width chain in
     let (_ : packed_stats) =
-      run_packed ?width ?init_state c chain policy ~vectors
+      run_packed ~width ?init_state c chain policy ~vectors
         ~on_response:(fun r -> acc := Array.copy r :: !acc)
     in
     ());

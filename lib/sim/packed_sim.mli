@@ -26,6 +26,9 @@ open Netlist
 
 type t
 
+val max_width : int
+(** Widest supported batch: 8 words = 512 lanes per frame. *)
+
 val create : ?width:int -> Compiled.t -> t
 (** [width] words per node, 1..8 (default 1 — the original 64-lane
     layout, byte-for-byte). All scratch ([words]/[diffs]/[last]/lane

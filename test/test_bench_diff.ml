@@ -43,9 +43,16 @@ let check_kind_classification () =
   check "fault_sim_par_d2_speedup" D.Rate;
   (* the [_events_s] suffix wins over the bare [_s] time suffix *)
   check "fault_sim_events_s" D.Rate;
+  (* the ppsfp additions follow the suffix convention *)
+  check "fault_sim_ppsfp_s" D.Time;
+  check "fault_sim_ppsfp_speedup" D.Rate;
+  check "ppsfp_faults_detected" D.Count;
+  (* gate-bearing rate pinned by literal name, independent of suffix *)
+  check "serve_warm_speedup" D.Rate;
   (* run configuration, compared but never gating *)
   check "packed_width" D.Config;
-  check "domains" D.Config
+  check "domains" D.Config;
+  check "packed_auto_width" D.Config
 
 let check_identical_is_clean () =
   let f = mk [ ("s344", base_metrics) ] in
@@ -156,7 +163,39 @@ let check_schema_bump_pairs () =
   let r = D.diff old_f new_f in
   Alcotest.(check bool) "schema bump alone is clean" false
     (D.has_regression r);
-  Alcotest.(check int) "shared metrics paired" 2 r.D.compared
+  Alcotest.(check int) "shared metrics paired" 2 r.D.compared;
+  (* a /2 baseline gates a /3 file the same way: the ppsfp and scale
+     additions pass as new metrics, shared ones still pair *)
+  let p2' =
+    write_temp
+      "{\"schema\":\"scanpower.bench_kernels/2\",\"fast\":true,\
+       \"circuits\":{\"s344\":{\"nodes\":195,\"compile_s\":1.0e-04}}}"
+  in
+  let p3 =
+    write_temp
+      "{\"schema\":\"scanpower.bench_kernels/3\",\"fast\":true,\
+       \"circuits\":{\"s344\":{\"nodes\":195,\"compile_s\":1.1e-04,\
+       \"fault_sim_ppsfp_s\":3.0e-03,\"fault_sim_ppsfp_speedup\":12.0}}}"
+  in
+  let old_f' = D.load p2' and new_f' = D.load p3 in
+  Sys.remove p2';
+  Sys.remove p3;
+  let r' = D.diff old_f' new_f' in
+  Alcotest.(check bool) "/2 baseline gates /3 cleanly" false
+    (D.has_regression r');
+  Alcotest.(check int) "/2-/3 shared metrics paired" 2 r'.D.compared
+
+(* the serve stage's amortisation contract: a serve_warm_speedup drop
+   beyond the rate threshold must gate, through the literal-name pin,
+   not the suffix convention *)
+let check_serve_warm_speedup_gates () =
+  let old_f = mk [ ("serve", [ ("serve_warm_speedup", D.F 10.0) ]) ] in
+  let ok = mk [ ("serve", [ ("serve_warm_speedup", D.F 9.0) ]) ] in
+  let bad = mk [ ("serve", [ ("serve_warm_speedup", D.F 2.0) ]) ] in
+  Alcotest.(check bool) "within threshold passes" false
+    (D.has_regression (D.diff old_f ok));
+  Alcotest.(check bool) "collapse regresses" true
+    (D.has_regression (D.diff old_f bad))
 
 let check_fast_mismatch_flagged () =
   let r =
@@ -240,6 +279,8 @@ let suite =
       check_config_change_is_clean;
     Alcotest.test_case "schema bump pairs metrics" `Quick
       check_schema_bump_pairs;
+    Alcotest.test_case "serve_warm_speedup gates as a rate" `Quick
+      check_serve_warm_speedup_gates;
     Alcotest.test_case "fast mismatch flagged" `Quick
       check_fast_mismatch_flagged;
     Alcotest.test_case "load real shape" `Quick check_load_real_shape;

@@ -3,8 +3,15 @@
 open Netlist
 
 let check_registry () =
-  Alcotest.(check int) "13 benchmarks" 13 (List.length Circuits.names);
+  Alcotest.(check int) "15 benchmarks" 15 (List.length Circuits.names);
   Alcotest.(check bool) "s27 first" true (List.hd Circuits.names = "s27");
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scale profile %s registered" p.Circuits.name)
+        true
+        (List.mem p.Circuits.name Circuits.names))
+    Circuits.scale_profiles;
   List.iter
     (fun name ->
       let c = Circuits.by_name name in

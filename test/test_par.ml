@@ -103,9 +103,11 @@ let test_participant_indices () =
 
 (* ---------- sharded fault simulation ---------- *)
 
-(* One circuit, one seed: the Cone reference, the sequential CPT walk
-   and the pool-sharded CPT walk at every pool size must agree
-   fault-for-fault, in order. *)
+(* One circuit, one seed: the Cone reference, the sequential CPT and
+   PPSFP walks and the pool-sharded CPT/PPSFP walks at every pool size
+   must agree fault-for-fault, in order. [~par_threshold:0] everywhere:
+   the test circuits sit below the min-work cutoff, and the property
+   under test is the sharded walk itself, not the bypass. *)
 let check_sharded_split tag c ~seed ~n_vectors =
   let faults = Atpg.Fault.collapsed_faults c in
   let rng = Util.Rng.create seed in
@@ -114,6 +116,7 @@ let check_sharded_split tag c ~seed ~n_vectors =
   let det_ref, undet_ref = Fs.split ~machine:m_cone c ~faults ~vectors in
   let m = Fs.make c in
   let det_seq, undet_seq = Fs.split ~machine:m c ~faults ~vectors in
+  let m_pp = Fs.make ~engine:Fs.Ppsfp c in
   let show l = String.concat ";" (List.map (Atpg.Fault.to_string c) l) in
   Alcotest.(check string)
     (tag ^ " sequential cpt = cone")
@@ -121,7 +124,9 @@ let check_sharded_split tag c ~seed ~n_vectors =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
-          let det_p, undet_p = Fs.split ~machine:m ~pool c ~faults ~vectors in
+          let det_p, undet_p =
+            Fs.split ~machine:m ~pool ~par_threshold:0 c ~faults ~vectors
+          in
           Alcotest.(check string)
             (Printf.sprintf "%s detected d%d" tag domains)
             (show det_seq) (show det_p);
@@ -130,7 +135,16 @@ let check_sharded_split tag c ~seed ~n_vectors =
             (show undet_seq) (show undet_p);
           Alcotest.(check string)
             (Printf.sprintf "%s vs cone undetected d%d" tag domains)
-            (show undet_ref) (show undet_p)))
+            (show undet_ref) (show undet_p);
+          let det_pp, undet_pp =
+            Fs.split ~machine:m_pp ~pool ~par_threshold:0 c ~faults ~vectors
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s ppsfp detected d%d" tag domains)
+            (show det_ref) (show det_pp);
+          Alcotest.(check string)
+            (Printf.sprintf "%s ppsfp undetected d%d" tag domains)
+            (show undet_ref) (show undet_pp)))
     pool_sizes
 
 let test_sharded_s27 () =
@@ -154,11 +168,16 @@ let test_sharded_coverage_and_subset () =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
-          let cov_p = Fs.coverage ~machine:m ~pool c ~faults ~vectors in
+          let cov_p =
+            Fs.coverage ~machine:m ~pool ~par_threshold:0 c ~faults ~vectors
+          in
           Alcotest.(check (float 0.0))
             (Printf.sprintf "coverage d%d" domains)
             cov_seq cov_p;
-          let sub_p = Fs.effective_subset ~machine:m ~pool c ~faults ~vectors in
+          let sub_p =
+            Fs.effective_subset ~machine:m ~pool ~par_threshold:0 c ~faults
+              ~vectors
+          in
           Alcotest.(check int)
             (Printf.sprintf "subset size d%d" domains)
             (List.length sub_seq) (List.length sub_p);
@@ -169,6 +188,38 @@ let test_sharded_coverage_and_subset () =
                 true (a = b))
             sub_seq sub_p))
     pool_sizes
+
+(* Below the min-work threshold a pool-bearing call must bypass the
+   pool entirely — identical results, and the bypass counter tallies
+   the decision. Every test circuit is far below the default 1024
+   compiled nodes, so the default threshold exercises the bypass. *)
+let test_par_threshold_bypass () =
+  let c = Lazy.force s344 in
+  let faults = Atpg.Fault.collapsed_faults c in
+  let rng = Util.Rng.create 13 in
+  let vectors = random_vectors rng c 50 in
+  let m = Fs.make c in
+  let det_seq, undet_seq = Fs.split ~machine:m c ~faults ~vectors in
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let get name = Option.value ~default:0 (Telemetry.Counter.find name) in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let before = get "atpg.fault_sim.par_bypass" in
+      let det_p, undet_p = Fs.split ~machine:m ~pool c ~faults ~vectors in
+      let after = get "atpg.fault_sim.par_bypass" in
+      ignore (Fs.split ~machine:m ~pool ~par_threshold:0 c ~faults ~vectors);
+      let after_forced = get "atpg.fault_sim.par_bypass" in
+      Telemetry.reset ();
+      if not was_enabled then Telemetry.disable ();
+      Alcotest.(check bool) "bypass counter advanced" true (after > before);
+      Alcotest.(check int)
+        "bypassed detected = sequential"
+        (List.length det_seq) (List.length det_p);
+      Alcotest.(check int)
+        "bypassed undetected = sequential"
+        (List.length undet_seq) (List.length undet_p);
+      Alcotest.(check int) "par_threshold:0 forces sharding" after after_forced)
 
 (* fork_machine shares the compiled form but owns its scratch: running
    a replica must not disturb the parent mid-round *)
@@ -205,6 +256,45 @@ let values_of results =
       | Runner.Done { value; _ } -> Ok value
       | Runner.Failed { last; _ } -> Error (Runner.failure_to_string last))
     results
+
+(* The Auto runner strategy must not spin up domains for a batch
+   smaller than min_domain_jobs: same outcomes, sequential path,
+   decision tallied. An explicit Domains request is always honored. *)
+let test_runner_auto_min_work () =
+  let was_enabled = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let get () =
+    Option.value ~default:0 (Telemetry.Counter.find "runner.min_work_seq")
+  in
+  let cfg =
+    { Runner.default_config with jobs = 4; strategy = Runner.Auto }
+  in
+  let jobs n = List.init n (fun i -> job_of (i + 100)) in
+  let res_small, _ = Runner.run ~config:cfg (jobs (cfg.Runner.min_domain_jobs - 1)) in
+  let after_small = get () in
+  let seq, _ =
+    Runner.run
+      ~config:{ cfg with jobs = 1 }
+      (jobs (cfg.Runner.min_domain_jobs - 1))
+  in
+  let after_seq = get () in
+  ignore (Runner.run ~config:cfg (jobs (cfg.Runner.min_domain_jobs + 2)));
+  let after_big = get () in
+  ignore
+    (Runner.run ~config:{ cfg with strategy = Runner.Domains } (jobs 2));
+  let after_explicit = get () in
+  Telemetry.reset ();
+  if not was_enabled then Telemetry.disable ();
+  Alcotest.(check bool) "small Auto batch went sequential" true (after_small > 0);
+  Alcotest.(check bool)
+    "small batch outcomes = sequential" true
+    (values_of seq = values_of res_small);
+  Alcotest.(check int)
+    "jobs=1 config is not the Domains path" after_small after_seq;
+  Alcotest.(check int) "big Auto batch not bypassed" after_seq after_big;
+  Alcotest.(check int)
+    "explicit Domains honored for tiny batch" after_big after_explicit
 
 let test_runner_domains_matches_sequential () =
   let jobs () = List.init 12 job_of in
@@ -371,8 +461,12 @@ let suite =
     Alcotest.test_case "sharded split s1196" `Slow test_sharded_s1196;
     Alcotest.test_case "sharded coverage and effective_subset" `Quick
       test_sharded_coverage_and_subset;
+    Alcotest.test_case "min-work threshold bypasses the pool" `Quick
+      test_par_threshold_bypass;
     Alcotest.test_case "fork_machine leaves parent intact" `Quick
       test_fork_machine_isolated;
+    Alcotest.test_case "runner auto min-work goes sequential" `Quick
+      test_runner_auto_min_work;
     Alcotest.test_case "runner domains = sequential outcomes" `Quick
       test_runner_domains_matches_sequential;
     Alcotest.test_case "runner domains retries" `Quick
