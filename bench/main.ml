@@ -966,6 +966,133 @@ let serve_bench () =
                 ] )
             :: !kernels_json))
 
+(* ------------------------------------------------------------------ *)
+(* Serve recovery: crash mid-request, restart warm, replay             *)
+(* ------------------------------------------------------------------ *)
+
+(* The self-healing claim, measured: a supervised daemon is SIGKILLed
+   mid-request, the supervisor restarts it, the restarted generation
+   restores the registry snapshot, and the resilient client replays.
+   [serve_recovery_s] is the client-observed time from firing the
+   doomed request to its first successful answer — crash detection +
+   restart + snapshot restore + replay, end to end — and the replay
+   must be a registry hit (a cold re-prepare would hide behind a
+   correct answer and rot the snapshot path silently). *)
+
+let serve_recovery_bench () =
+  section "Serve recovery: crash mid-request, warm restart, replay";
+  let module D = Scanpower_server.Daemon in
+  let module S = Scanpower_server.Supervisor in
+  let module C = Scanpower_server.Client in
+  let module P = Scanpower_server.Protocol in
+  let module FI = Runner.Fault_inject in
+  let module J = Telemetry.Json in
+  let circuit = "s1196" in
+  (* deterministic chaos: find a seed where generation 1 dies on the
+     doomed id and every other (id, generation) we use is spared *)
+  let seed =
+    let ok seed =
+      let spec = { FI.seed; rates = [ (FI.Worker_kill, 0.5) ] } in
+      FI.with_spec (Some spec) (fun () ->
+          FI.fires FI.Worker_kill ~key:"kill-me#gen1"
+          && List.for_all
+               (fun key -> not (FI.fires FI.Worker_kill ~key))
+               [ "warm#gen1"; "kill-me#gen2"; "st#gen2" ])
+    in
+    let rec go s = if ok s then s else go (s + 1) in
+    go 0
+  in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scanpower-bench-rec-%d.sock" (Unix.getpid ()))
+  in
+  let snap =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scanpower-bench-rec-%d.snap" (Unix.getpid ()))
+  in
+  let daemon =
+    {
+      D.default_config with
+      D.socket;
+      log = None;
+      snapshot_path = Some snap;
+      snapshot_every_s = 0.05;
+    }
+  in
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    FI.set (Some { FI.seed; rates = [ (FI.Worker_kill, 0.5) ] });
+    (try
+       S.run
+         ~config:{ S.daemon; restart_budget = 5; restart_refill_s = 30.0 }
+         ()
+     with _ -> ());
+    Unix._exit 0
+  end;
+  let stop () =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    if Sys.file_exists snap then Sys.remove snap
+  in
+  Fun.protect ~finally:stop (fun () ->
+      let session = C.session ~retry_for_s:60.0 socket in
+      Fun.protect
+        ~finally:(fun () -> C.close_session session)
+        (fun () ->
+          let call req =
+            match C.call session req with
+            | Ok v -> v
+            | Error e ->
+              failwith
+                ("serve recovery request failed: "
+                ^ Scanpower_errors.to_string e)
+          in
+          ignore (call (P.make ~id:"warm" ~circuit ~seed:7 P.Flow));
+          (* let a snapshot tick capture the warm entry *)
+          Unix.sleepf 0.6;
+          let t0 = Unix.gettimeofday () in
+          let v = call (P.make ~id:"kill-me" ~circuit ~seed:7 P.Flow) in
+          let recovery_s = Unix.gettimeofday () -. t0 in
+          let warm_hit = J.member "registry_hit" v = Some (J.Bool true) in
+          let stats = call (P.make ~id:"st" P.Stats) in
+          let int_field obj k =
+            match J.member k obj with Some (J.Int n) -> n | _ -> -1
+          in
+          let generation = int_field stats "generation" in
+          let warm_restored = int_field stats "warm_restored" in
+          Format.printf
+            "%-8s recovery %.4fs | generation %d | %d restored | replay %s@."
+            circuit recovery_s generation warm_restored
+            (if warm_hit then "warm" else "COLD");
+          if C.session_replays session < 1 then
+            failwith "serve recovery: the client never replayed";
+          if generation <> 2 then
+            failwith
+              (Printf.sprintf
+                 "serve recovery: expected generation 2, daemon reports %d"
+                 generation);
+          if warm_restored < 1 then
+            failwith "serve recovery: restarted daemon restored nothing";
+          if not warm_hit then
+            failwith
+              "serve recovery: replay re-prepared instead of hitting the \
+               restored registry";
+          kernels_json :=
+            ( "serve_recovery",
+              J.Obj
+                [
+                  ("serve_recovery_s", J.Float recovery_s);
+                  ("recovery_generation", J.Int generation);
+                  ("recovery_warm_restored", J.Int warm_restored);
+                  ("recovery_warm_hit", J.Int (if warm_hit then 1 else 0));
+                  ("client_replays", J.Int (C.session_replays session));
+                ] )
+            :: !kernels_json))
+
 let write_bench_json () =
   if !kernels_json <> [] then begin
     let doc =
@@ -1115,6 +1242,7 @@ let () =
      permanently refuses Unix.fork once a domain has ever been created
      in the process. Fork-based stages must run first. *)
   stage "serve" serve_bench;
+  stage "serve_recovery" serve_recovery_bench;
   stage "kernels" kernels;
   stage "micro" micro;
   write_bench_json ();

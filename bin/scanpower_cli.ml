@@ -908,21 +908,37 @@ let socket_arg =
 
 let serve_cmd =
   let module Daemon = Scanpower_server.Daemon in
-  let run socket registry_capacity max_queue max_line default_deadline
-      parallel quiet tele =
+  let module Supervisor = Scanpower_server.Supervisor in
+  let run socket registry_capacity max_queue max_request_bytes
+      default_deadline parallel quiet snapshot snapshot_every max_heap_mw
+      supervise restart_budget restart_refill tele =
     let* metrics_out = tele in
     let config =
       {
         Daemon.socket;
         registry_capacity;
         max_queue;
-        max_line;
+        max_request_bytes;
         default_deadline_s = default_deadline;
         parallel;
         log = (if quiet then None else Some stdout);
+        snapshot_path = snapshot;
+        snapshot_every_s = snapshot_every;
+        max_heap_mw;
+        generation = 0;
       }
     in
-    let (_final_stats : Telemetry.Json.t) = Daemon.run ~config () in
+    if supervise then
+      Supervisor.run
+        ~config:
+          {
+            Supervisor.daemon = config;
+            restart_budget;
+            restart_refill_s = restart_refill;
+          }
+        ()
+    else
+      ignore (Daemon.run ~config () : Telemetry.Json.t);
     finish_telemetry metrics_out
   in
   let registry_capacity =
@@ -942,12 +958,17 @@ let serve_cmd =
              with a structured $(b,overloaded) error (exit code 7 at the \
              client).")
   in
-  let max_line =
+  let max_request_bytes =
     Arg.(
       value
       & opt int Scanpower_server.Protocol.max_line_default
-      & info [ "max-line" ] ~docv:"BYTES"
-          ~doc:"Cap on one request line (inline netlists included).")
+      & info
+          [ "max-request-bytes"; "max-line" ]
+          ~docv:"BYTES"
+          ~doc:
+            "Cap on one request frame (inline netlists included); past it \
+             the request is answered with a $(b,validation) error and the \
+             connection is dropped.")
   in
   let default_deadline =
     Arg.(
@@ -963,6 +984,58 @@ let serve_cmd =
       & info [ "quiet" ]
           ~doc:"Suppress the operational NDJSON log lines on stdout.")
   in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Warm-registry snapshot file: restored at startup (a corrupt or \
+             missing file is a cold start) and written atomically on the \
+             SIGTERM drain and every $(b,--snapshot-every) seconds, so a \
+             restarted daemon comes back warm.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt float 0.0
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:"Periodic snapshot interval; 0 snapshots only on drain.")
+  in
+  let max_heap_mw =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-heap-mw" ] ~docv:"MEGAWORDS"
+          ~doc:
+            "Heap budget for the memory-pressure watchdog, in millions of \
+             OCaml words (8 MB per megaword on 64-bit). Over budget the \
+             daemon first shrinks the warm registry and compacts; if \
+             pressure persists it sheds flow/atpg/sweep-point requests \
+             with a retryable $(b,degraded) error (exit code 9) while \
+             health/stats/validate keep being served. 0 disables.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the daemon as a monitored child: a crash restarts it (re-\
+             binding the socket, restoring the snapshot) under a token-\
+             bucket restart budget; budget exhausted exits 4 instead of \
+             restart-storming.")
+  in
+  let restart_budget =
+    Arg.(
+      value & opt int 5
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:"Supervisor token-bucket capacity: crashes absorbed before \
+                giving up.")
+  in
+  let restart_refill =
+    Arg.(
+      value & opt float 30.0
+      & info [ "restart-refill" ] ~docv:"SECONDS"
+          ~doc:"Uptime that earns one restart token back; 0 disables refill.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -970,12 +1043,16 @@ let serve_cmd =
           atpg, validate, sweep-point, health, stats) over a Unix-domain \
           socket, served from a warm machine registry with LRU eviction, \
           bounded-queue admission control and per-request deadlines. \
-          SIGTERM drains in-flight work, emits a final stats line and \
-          unlinks the socket.")
+          $(b,--supervise) adds crash-only self-healing: a monitored child \
+          restarted under a token-bucket budget, coming back warm from the \
+          $(b,--snapshot) file. SIGTERM drains in-flight work, writes the \
+          final snapshot, emits a final stats line and unlinks the socket.")
     Term.(
       term_result
-        (const run $ socket_arg $ registry_capacity $ max_queue $ max_line
-       $ default_deadline $ parallel_arg $ quiet $ telemetry_term))
+        (const run $ socket_arg $ registry_capacity $ max_queue
+       $ max_request_bytes $ default_deadline $ parallel_arg $ quiet
+       $ snapshot $ snapshot_every $ max_heap_mw $ supervise
+       $ restart_budget $ restart_refill $ telemetry_term))
 
 (* ---- client ---- *)
 
@@ -983,7 +1060,7 @@ let client_cmd =
   let module P = Scanpower_server.Protocol in
   let module C = Scanpower_server.Client in
   let run socket kind_s spec seed engine deadline stream isolation repeat
-      connect_timeout tele =
+      connect_timeout retry_for hedge tele =
     let* metrics_out = tele in
     let* kind =
       match P.kind_of_string kind_s with
@@ -1009,9 +1086,15 @@ let client_cmd =
     if P.needs_circuit kind && circuit = None && bench = None then
       E.raise_error ~code:E.Usage ~stage:"client"
         (P.kind_to_string kind ^ " needs a circuit name or a .bench path");
-    let client = C.connect ~retry_for_s:connect_timeout socket in
+    (* the resilient session reconnects and replays through daemon
+       restarts; --connect-timeout is folded into its retry window *)
+    let session =
+      C.session
+        ~retry_for_s:(Float.max retry_for connect_timeout)
+        ?hedge_after_s:hedge socket
+    in
     Fun.protect
-      ~finally:(fun () -> C.close client)
+      ~finally:(fun () -> C.close_session session)
       (fun () ->
         let last_error = ref None in
         for i = 1 to repeat do
@@ -1025,9 +1108,9 @@ let client_cmd =
               kind
           in
           match
-            C.rpc
+            C.call
               ~on_event:(Telemetry.Events.write_json_line stdout)
-              client req
+              session req
           with
           | Ok value -> Telemetry.Events.write_json_line stdout value
           | Error err -> last_error := Some err
@@ -1099,18 +1182,40 @@ let client_cmd =
       & info [ "connect-timeout" ] ~docv:"SECONDS"
           ~doc:"Keep retrying the connect for this long (daemon startup).")
   in
+  let retry_for =
+    Arg.(
+      value & opt float 10.0
+      & info [ "retry-for" ] ~docv:"SECONDS"
+          ~doc:
+            "Total resilience window per request: reconnect + replay on a \
+             torn or reset connection (a daemon restarting under \
+             supervision), and backoff + re-send on retryable \
+             $(b,overloaded)/$(b,degraded) errors. Idempotency keys \
+             guarantee a replay never double-executes.")
+  in
+  let hedge =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge" ] ~docv:"SECONDS"
+          ~doc:
+            "Hedged sends for read-only kinds (health, stats, validate): a \
+             request unanswered after $(docv) is fired again on a second \
+             connection and the first answer wins.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Send one request to a running $(b,scanpower serve) daemon and \
-          print the response value as one JSON line. Structured daemon \
-          errors map to the documented exit codes (7 overloaded, 8 \
-          deadline, ...).")
+          print the response value as one JSON line. Transport failures \
+          are replayed under $(b,--retry-for) with idempotent dedup \
+          server-side. Structured daemon errors map to the documented \
+          exit codes (7 overloaded, 8 deadline, 9 degraded, ...).")
     Term.(
       term_result
         (const run $ socket_arg $ kind_arg $ spec_arg $ seed_arg $ engine
        $ deadline $ stream $ isolation $ repeat $ connect_timeout
-       $ telemetry_term))
+       $ retry_for $ hedge $ telemetry_term))
 
 let main_cmd =
   let doc =
@@ -1125,9 +1230,9 @@ let main_cmd =
 
 (* Exit codes (also documented in the README): 0 success, 2 usage,
    3 parse/validation, 4 io/runtime, 5 partial batch, 6 bench-diff
-   regression, 7 daemon overloaded, 8 request deadline expired;
-   cmdliner itself keeps 124 for command-line syntax it rejects before
-   we run. *)
+   regression, 7 daemon overloaded, 8 request deadline expired,
+   9 daemon degraded under memory pressure; cmdliner itself keeps 124
+   for command-line syntax it rejects before we run. *)
 let () =
   Runner.Fault_inject.activate_from_env ();
   match Cmd.eval ~catch:false main_cmd with

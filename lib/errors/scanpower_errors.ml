@@ -8,6 +8,7 @@ type code =
   | Regression
   | Overloaded
   | Deadline
+  | Degraded
 
 let code_to_string = function
   | Usage -> "usage"
@@ -19,10 +20,11 @@ let code_to_string = function
   | Regression -> "regression"
   | Overloaded -> "overloaded"
   | Deadline -> "deadline"
+  | Degraded -> "degraded"
 
 let all_codes =
   [ Usage; Parse; Validation; Io; Runtime; Partial; Regression;
-    Overloaded; Deadline ]
+    Overloaded; Deadline; Degraded ]
 
 let code_of_string s =
   List.find_opt (fun c -> code_to_string c = s) all_codes
@@ -31,7 +33,8 @@ let code_of_string s =
    invocation, 3 = bad input, 4 = the flow itself failed, 5 = a batch
    finished with failures, 6 = a benchmark comparison found a
    regression, 7 = the daemon refused the request under load, 8 = a
-   per-request deadline expired. Cmdliner owns 124 for flag-syntax
+   per-request deadline expired, 9 = the daemon is shedding load under
+   memory pressure (retryable). Cmdliner owns 124 for flag-syntax
    errors. *)
 let exit_code = function
   | Usage -> 2
@@ -41,6 +44,7 @@ let exit_code = function
   | Regression -> 6
   | Overloaded -> 7
   | Deadline -> 8
+  | Degraded -> 9
 
 type location = { file : string option; line : int; column : int }
 

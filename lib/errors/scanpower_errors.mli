@@ -23,6 +23,10 @@ type code =
           was refused; safe to retry after backing off *)
   | Deadline
       (** the request's deadline expired before it could be served *)
+  | Degraded
+      (** the serving daemon is shedding compute-heavy requests under
+          memory pressure; safe to retry after backing off — cheap
+          requests (health, stats, validate) keep being served *)
 
 val code_to_string : code -> string
 (** Lowercase tag: ["usage"], ["parse"], ... *)
@@ -33,9 +37,9 @@ val code_of_string : string -> code option
 val exit_code : code -> int
 (** The documented process exit code for each class:
     [Usage] → 2, [Parse]/[Validation] → 3, [Io]/[Runtime] → 4,
-    [Partial] → 5, [Regression] → 6, [Overloaded] → 7, [Deadline] → 8.
-    (0 is success; Cmdliner's own 124 covers command-line syntax it
-    rejects before we run.) *)
+    [Partial] → 5, [Regression] → 6, [Overloaded] → 7, [Deadline] → 8,
+    [Degraded] → 9. (0 is success; Cmdliner's own 124 covers
+    command-line syntax it rejects before we run.) *)
 
 type location = {
   file : string option;  (** [None] for in-memory text *)

@@ -5,10 +5,14 @@ type site =
   | Truncated_write
   | Corrupt_cache
   | Atpg_abort
+  | Torn_write
+  | Worker_kill
+  | Stall_read
+  | Heap_spike
 
 let all_sites =
   [ Child_crash; Child_exit; Child_hang; Truncated_write; Corrupt_cache;
-    Atpg_abort ]
+    Atpg_abort; Torn_write; Worker_kill; Stall_read; Heap_spike ]
 
 let site_to_string = function
   | Child_crash -> "crash"
@@ -17,6 +21,10 @@ let site_to_string = function
   | Truncated_write -> "truncate"
   | Corrupt_cache -> "corrupt"
   | Atpg_abort -> "atpg_abort"
+  | Torn_write -> "torn_write"
+  | Worker_kill -> "worker_kill"
+  | Stall_read -> "stall_read"
+  | Heap_spike -> "heap_spike"
 
 let site_of_string = function
   | "crash" -> Some Child_crash
@@ -25,6 +33,10 @@ let site_of_string = function
   | "truncate" -> Some Truncated_write
   | "corrupt" -> Some Corrupt_cache
   | "atpg_abort" -> Some Atpg_abort
+  | "torn_write" -> Some Torn_write
+  | "worker_kill" -> Some Worker_kill
+  | "stall_read" -> Some Stall_read
+  | "heap_spike" -> Some Heap_spike
   | _ -> None
 
 type t = { seed : int; rates : (site * float) list }

@@ -24,6 +24,18 @@ type site =
   | Truncated_write  (** worker writes only half its reply, then exits 0 *)
   | Corrupt_cache  (** cache entry bytes are clobbered after the store *)
   | Atpg_abort  (** the flow runs ATPG with backtrack limit 0 *)
+  | Torn_write
+      (** the daemon writes only a prefix of a response line, then
+          drops the connection — the client sees a torn frame *)
+  | Worker_kill
+      (** the serving process SIGKILLs itself mid-request — the
+          supervisor must restart it and the client must replay *)
+  | Stall_read
+      (** the daemon stalls briefly before reading ready socket
+          bytes — a slow-loris-shaped delay on the read path *)
+  | Heap_spike
+      (** the daemon pins a large allocation for a few seconds, driving
+          the memory-pressure watchdog *)
 
 val all_sites : site list
 val site_to_string : site -> string

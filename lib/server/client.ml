@@ -3,26 +3,36 @@ module E = Scanpower_errors
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
+(* connect/replay pacing: the runner's exponential backoff with
+   deterministic jitter, so a fleet of clients reconnecting to a
+   restarted daemon does not arrive in lockstep yet every chaos run
+   replays exactly *)
+let backoff_config =
+  { Runner.default_config with Runner.backoff_s = 0.05; backoff_max_s = 2.0 }
+
 let connect ?(retry_for_s = 0.0) path =
   let deadline = Unix.gettimeofday () +. retry_for_s in
-  let rec attempt () =
+  let rec attempt n =
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
     | () ->
       { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with _ -> ());
-      if Unix.gettimeofday () < deadline then begin
-        (* daemon still starting up: poll until the bind lands *)
-        Unix.sleepf 0.05;
-        attempt ()
+      let now = Unix.gettimeofday () in
+      if now < deadline then begin
+        (* daemon still starting (or restarting under supervision):
+           back off until the bind lands *)
+        let delay = Runner.retry_delay_s backoff_config ~id:path ~attempt:n in
+        Unix.sleepf (Float.min (Float.max delay 0.01) (deadline -. now));
+        attempt (n + 1)
       end
       else
         E.raise_error ~code:E.Io ~stage:"client.connect"
           (Printf.sprintf "cannot connect to %S: %s" path
              (Unix.error_message e))
   in
-  attempt ()
+  attempt 1
 
 let close t =
   (try flush t.oc with _ -> ());
@@ -95,3 +105,177 @@ let read_response ?(on_event = fun _ -> ()) ?(on_other = fun _ -> ()) t ~id =
 let rpc ?on_event t req =
   send t req;
   read_response ?on_event t ~id:req.Protocol.id
+
+(* ---- resilient session: reconnect + replay ---- *)
+
+type session = {
+  path : string;
+  retry_for_s : float;
+  hedge_after_s : float option;
+  mutable conn : t option;
+  mutable calls : int;
+  mutable replays : int;
+}
+
+let session ?(retry_for_s = 10.0) ?hedge_after_s path =
+  { path; retry_for_s; hedge_after_s; conn = None; calls = 0; replays = 0 }
+
+let session_replays s = s.replays
+
+let drop_conn s =
+  match s.conn with
+  | Some c ->
+    s.conn <- None;
+    close c
+  | None -> ()
+
+let close_session s = drop_conn s
+
+let conn_of s ~deadline =
+  match s.conn with
+  | Some c -> c
+  | None ->
+    let c =
+      connect ~retry_for_s:(Float.max 0.0 (deadline -. Unix.gettimeofday ()))
+        s.path
+    in
+    s.conn <- Some c;
+    c
+
+(* Failures that mean "the transport broke, not the request": a torn
+   or reset connection on send, EOF or a malformed (torn) line on
+   read. These are safe to replay — the idempotency key guarantees at
+   most one execution even if the daemon had already answered into the
+   void. *)
+let transport_error (e : E.t) =
+  (match e.E.code with E.Io | E.Parse -> true | _ -> false)
+  && (e.E.stage = "client.read" || e.E.stage = "client.connect")
+
+let retryable (e : E.t) =
+  match e.E.code with E.Overloaded | E.Degraded -> true | _ -> false
+
+let read_only (req : Protocol.request) =
+  match req.Protocol.kind with
+  | Protocol.Health | Protocol.Stats | Protocol.Validate -> true
+  | Protocol.Flow | Protocol.Atpg | Protocol.Sweep_point -> false
+
+(* Hedged send for read-only kinds: after [hedge_after_s] with no
+   bytes from the primary, fire the same request on a second fresh
+   connection and take whichever answers first. Both connections are
+   private to this call (never the session's), so a late loser can be
+   closed without desynchronizing the session stream. *)
+let hedged_once ?on_event s ~deadline req =
+  let remaining () = Float.max 0.0 (deadline -. Unix.gettimeofday ()) in
+  let hedge_after =
+    match s.hedge_after_s with Some h -> h | None -> assert false
+  in
+  let primary = connect ~retry_for_s:(remaining ()) s.path in
+  let opened = ref [ primary ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter close !opened)
+    (fun () ->
+      send primary req;
+      match Unix.select [ primary.fd ] [] [] hedge_after with
+      | _ :: _, _, _ -> read_response ?on_event primary ~id:req.Protocol.id
+      | _ -> (
+        let hedge = connect ~retry_for_s:(remaining ()) s.path in
+        opened := hedge :: !opened;
+        send hedge req;
+        match Unix.select [ primary.fd; hedge.fd ] [] [] (remaining ()) with
+        | [], _, _ ->
+          Error
+            (E.make ~code:E.Deadline ~stage:"client.read"
+               "hedged request: no response before the deadline")
+        | ready, _, _ ->
+          let winner =
+            if List.memq primary.fd ready then primary else hedge
+          in
+          read_response ?on_event winner ~id:req.Protocol.id))
+
+(* One request, survived to completion: reconnect and replay on
+   transport failure, back off and re-send on retryable daemon errors
+   (overloaded / degraded), propagate the shrinking deadline, and
+   auto-attach an idempotency key so no replay double-executes. *)
+let call ?on_event s req =
+  s.calls <- s.calls + 1;
+  let req =
+    match req.Protocol.idem with
+    | Some _ -> req
+    | None ->
+      { req with
+        Protocol.idem =
+          Some
+            (Printf.sprintf "%d-%d-%s" (Unix.getpid ()) s.calls
+               req.Protocol.id);
+      }
+  in
+  let window =
+    match req.Protocol.deadline_s with
+    | Some d -> Float.min d s.retry_for_s
+    | None -> s.retry_for_s
+  in
+  let deadline = Unix.gettimeofday () +. window in
+  let rec attempt n =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if n > 1 && remaining <= 0.0 then
+      Error
+        (E.make ~code:E.Deadline ~stage:"client.call"
+           (Printf.sprintf "request not served within %.3fs (%d attempts)"
+              window (n - 1)))
+    else begin
+      let req =
+        match req.Protocol.deadline_s with
+        | Some _ -> { req with Protocol.deadline_s = Some (Float.max 0.001 remaining) }
+        | None -> req
+      in
+      let result =
+        if s.hedge_after_s <> None && read_only req then
+          try hedged_once ?on_event s ~deadline req
+          with
+          | E.Error e -> Error e
+          | Sys_error msg ->
+            Error (E.make ~code:E.Io ~stage:"client.read" msg)
+          | End_of_file ->
+            Error
+              (E.make ~code:E.Io ~stage:"client.read"
+                 "connection closed before a response arrived")
+          | Unix.Unix_error (e, _, _) ->
+            Error
+              (E.make ~code:E.Io ~stage:"client.read" (Unix.error_message e))
+        else
+          try
+            let c = conn_of s ~deadline in
+            rpc ?on_event c req
+          with
+          | E.Error e -> Error e
+          | Sys_error msg ->
+            Error (E.make ~code:E.Io ~stage:"client.read" msg)
+          | End_of_file ->
+            Error
+              (E.make ~code:E.Io ~stage:"client.read"
+                 "connection closed before a response arrived")
+          | Unix.Unix_error (e, _, _) ->
+            Error
+              (E.make ~code:E.Io ~stage:"client.read" (Unix.error_message e))
+      in
+      match result with
+      | Ok v -> Ok v
+      | Error e when transport_error e ->
+        drop_conn s;
+        s.replays <- s.replays + 1;
+        let delay =
+          Runner.retry_delay_s backoff_config ~id:req.Protocol.id ~attempt:n
+        in
+        Unix.sleepf (Float.min (Float.max delay 0.01) (Float.max 0.0 (deadline -. Unix.gettimeofday ())));
+        attempt (n + 1)
+      | Error e when retryable e ->
+        s.replays <- s.replays + 1;
+        let delay =
+          Runner.retry_delay_s backoff_config ~id:req.Protocol.id ~attempt:n
+        in
+        Unix.sleepf (Float.min (Float.max delay 0.01) (Float.max 0.0 (deadline -. Unix.gettimeofday ())));
+        attempt (n + 1)
+      | Error _ as err -> err
+    end
+  in
+  attempt 1

@@ -10,9 +10,12 @@ let c_error = Telemetry.Counter.make "server.requests.error"
 let c_overloaded = Telemetry.Counter.make "server.requests.overloaded"
 let c_deadline = Telemetry.Counter.make "server.requests.deadline"
 let c_abandoned = Telemetry.Counter.make "server.requests.abandoned"
+let c_degraded = Telemetry.Counter.make "server.requests.degraded"
 let c_disconnects = Telemetry.Counter.make "server.client_disconnects"
 let c_protocol_errors = Telemetry.Counter.make "server.protocol_errors"
 let g_queue_depth = Telemetry.Gauge.make "server.queue_depth"
+let g_heap_words = Telemetry.Gauge.make "server.heap_words"
+let g_degraded = Telemetry.Gauge.make "server.degraded"
 let h_request_s = Telemetry.Histogram.make "server.request_s"
 let h_queue_wait_s = Telemetry.Histogram.make "server.queue_wait_s"
 
@@ -20,10 +23,14 @@ type config = {
   socket : string;
   registry_capacity : int;
   max_queue : int;
-  max_line : int;
+  max_request_bytes : int;
   default_deadline_s : float;
   parallel : Runner.strategy;
   log : out_channel option;
+  snapshot_path : string option;
+  snapshot_every_s : float;
+  max_heap_mw : float;
+  generation : int;
 }
 
 let default_config =
@@ -31,19 +38,27 @@ let default_config =
     socket = Protocol.default_socket ();
     registry_capacity = 32;
     max_queue = 64;
-    max_line = Protocol.max_line_default;
+    max_request_bytes = Protocol.max_line_default;
     default_deadline_s = 0.0;
     parallel = Runner.Auto;
     log = None;
+    snapshot_path = None;
+    snapshot_every_s = 0.0;
+    max_heap_mw = 0.0;
+    generation = 0;
   }
 
 type conn = {
   fd : Unix.file_descr;
   oc : out_channel;  (** same descriptor; closing [oc] closes [fd] *)
   mutable pending : string;  (** bytes read but not yet newline-framed *)
-  mutable oversized : bool;  (** discarding until the next newline *)
   mutable closed : bool;
 }
+
+(* memory-pressure state machine: Normal → Trimmed (registry LRU cut
+   and heap compacted) → Degraded (shedding compute) and back down
+   through hysteresis *)
+type pressure = Normal | Trimmed | Degraded
 
 type queued = {
   q_conn : conn;
@@ -64,6 +79,14 @@ type t = {
   mutable errors : int;
   mutable overloaded : int;
   mutable deadlines : int;
+  mutable shed : int;
+  mutable pressure : pressure;
+  mutable warm_restored : int;
+  mutable last_snapshot : float;
+  mutable writes : int;  (** torn-write roll sequence *)
+  mutable reads : int;  (** stall-read roll sequence *)
+  mutable ballast : (float * float array) list;
+      (** injected heap spikes: (expiry, pinned allocation) *)
 }
 
 let log t json =
@@ -71,23 +94,42 @@ let log t json =
   | Some oc -> (try Events.write_json_line oc json with _ -> ())
   | None -> ()
 
-(* every byte to a client goes through the shared NDJSON writer; a
-   dead peer (EPIPE with SIGPIPE ignored, reset, ...) is a clean
-   close, never a daemon failure *)
-let write_line t conn json =
-  if not conn.closed then
-    try Events.write_json_line conn.oc json
-    with _ ->
-      conn.closed <- true;
-      Telemetry.Counter.inc c_disconnects;
-      t.conns <- List.filter (fun c -> c != conn) t.conns;
-      try close_out_noerr conn.oc with _ -> ()
-
 let close_conn t conn =
   if not conn.closed then begin
     conn.closed <- true;
     t.conns <- List.filter (fun c -> c != conn) t.conns;
     try close_out_noerr conn.oc with _ -> ()
+  end
+
+(* every byte to a client goes through the shared NDJSON writer; a
+   dead peer (EPIPE with SIGPIPE ignored, reset, ...) is a clean
+   close, never a daemon failure *)
+let write_line t conn json =
+  if not conn.closed then begin
+    t.writes <- t.writes + 1;
+    let torn_key =
+      Printf.sprintf "%s#w%d"
+        (match Json.member "id" json with
+        | Some (Json.String id) -> id
+        | _ -> "-")
+        t.writes
+    in
+    if Runner.Fault_inject.fires Runner.Fault_inject.Torn_write ~key:torn_key
+    then begin
+      (* emit a prefix of the frame, then hang up: the client sees a
+         torn line and must reconnect + replay *)
+      let s = Json.to_string json in
+      (try
+         output_string conn.oc (String.sub s 0 (String.length s / 2));
+         flush conn.oc
+       with _ -> ());
+      close_conn t conn
+    end
+    else
+      try Events.write_json_line conn.oc json
+      with _ ->
+        Telemetry.Counter.inc c_disconnects;
+        close_conn t conn
   end
 
 let protocol_error t conn ?id err =
@@ -113,7 +155,26 @@ let admit t conn line =
     | Ok req ->
       t.received <- t.received + 1;
       Telemetry.Counter.inc c_received;
-      if Queue.length t.queue >= t.config.max_queue then begin
+      let compute_heavy =
+        match req.Protocol.kind with
+        | Protocol.Flow | Protocol.Atpg | Protocol.Sweep_point -> true
+        | Protocol.Validate | Protocol.Health | Protocol.Stats -> false
+      in
+      if t.pressure = Degraded && compute_heavy then begin
+        (* shed at admission: cheap requests (health/stats/validate)
+           keep flowing so operators can watch the recovery *)
+        t.shed <- t.shed + 1;
+        Telemetry.Counter.inc c_degraded;
+        write_line t conn
+          (Protocol.error_line ~id:req.Protocol.id
+             (E.make ~code:E.Degraded ~stage:"server.admission"
+                (Printf.sprintf
+                   "shedding %s requests under memory pressure (heap \
+                    budget %.1f MW); retry after backoff"
+                   (Protocol.kind_to_string req.Protocol.kind)
+                   t.config.max_heap_mw)))
+      end
+      else if Queue.length t.queue >= t.config.max_queue then begin
         t.overloaded <- t.overloaded + 1;
         Telemetry.Counter.inc c_overloaded;
         write_line t conn
@@ -135,9 +196,23 @@ let admit t conn line =
         set_queue_gauge t
       end)
 
-(* split newly buffered bytes into complete lines, enforcing the line
-   cap; a torn trailing fragment stays pending until more bytes or EOF
-   (where it is silently discarded — the request never completed) *)
+(* a frame past the cap is answered with [validation] and the
+   connection is dropped — not merely skipped-to-newline, which would
+   leave the buffer regrowing without bound on a newline-less stream *)
+let oversize t conn =
+  protocol_error t conn
+    (E.make ~code:E.Validation ~stage:"server.protocol"
+       (Printf.sprintf
+          "request line exceeds %d bytes; connection closed (raise \
+           --max-request-bytes to ship larger netlists)"
+          t.config.max_request_bytes));
+  conn.pending <- "";
+  close_conn t conn
+
+(* split newly buffered bytes into complete lines, enforcing the
+   request-size cap; a torn trailing fragment stays pending until more
+   bytes or EOF (where it is silently discarded — the request never
+   completed) *)
 let feed t conn chunk =
   conn.pending <- conn.pending ^ chunk;
   let continue = ref true in
@@ -147,31 +222,34 @@ let feed t conn chunk =
       let line = String.sub conn.pending 0 i in
       conn.pending <-
         String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
-      if conn.oversized then
-        (* the tail of a line already rejected for size *)
-        conn.oversized <- false
-      else if String.length line > t.config.max_line then
+      if String.length line > t.config.max_request_bytes then
         (* a complete line can also blow the cap when it arrives
            whole inside one read *)
-        protocol_error t conn
-          (E.make ~code:E.Usage ~stage:"server.protocol"
-             (Printf.sprintf "request line exceeds %d bytes"
-                t.config.max_line))
+        oversize t conn
       else if String.trim line <> "" then admit t conn line
     | None ->
-      if String.length conn.pending > t.config.max_line && not conn.oversized
-      then begin
-        protocol_error t conn
-          (E.make ~code:E.Usage ~stage:"server.protocol"
-             (Printf.sprintf "request line exceeds %d bytes"
-                t.config.max_line));
-        conn.pending <- "";
-        conn.oversized <- true
-      end;
+      if String.length conn.pending > t.config.max_request_bytes then
+        oversize t conn;
       continue := false
   done
 
 let read_conn t conn =
+  t.reads <- t.reads + 1;
+  if
+    Runner.Fault_inject.fires Runner.Fault_inject.Stall_read
+      ~key:(Printf.sprintf "r%d" t.reads)
+  then
+    (* a slow-loris-shaped delay: ready bytes sit unread briefly; the
+       loop must stay responsive for every other connection *)
+    Unix.sleepf 0.05;
+  if
+    Runner.Fault_inject.fires Runner.Fault_inject.Heap_spike
+      ~key:(Printf.sprintf "h%d" t.reads)
+  then
+    (* pin ~32 MB for a few seconds to drive the memory watchdog *)
+    t.ballast <-
+      (Unix.gettimeofday () +. 3.0, Array.make (4 * 1024 * 1024) 0.0)
+      :: t.ballast;
   let buf = Bytes.create 65536 in
   match Unix.read conn.fd buf 0 (Bytes.length buf) with
   | 0 -> close_conn t conn
@@ -191,10 +269,13 @@ let request_counters t =
       ("error", Json.Int t.errors);
       ("overloaded", Json.Int t.overloaded);
       ("deadline", Json.Int t.deadlines);
+      ("degraded", Json.Int t.shed);
     ]
 
 let extra t =
   [ ("queue_depth", Json.Int (Queue.length t.queue));
+    ("degraded", Json.Bool (t.pressure = Degraded));
+    ("warm_restored", Json.Int t.warm_restored);
     ("requests", request_counters t) ]
 
 let process_one t =
@@ -275,14 +356,119 @@ let process_one t =
                 (Protocol.error_line ~id:req.Protocol.id err))
     end
 
+(* ---- memory-pressure watchdog ---- *)
+
+(* Driven by [Gc.quick_stat] (O(1), safe every loop iteration) against
+   the [--max-heap-mw] budget. Escalation: over budget → cut the
+   registry LRU in half and compact; still over → stop admitting
+   compute-heavy requests ([degraded]); back under 0.9× budget →
+   recover. The hysteresis band stops the daemon flapping between
+   degraded and healthy at the boundary. *)
+let check_memory t =
+  let now = Unix.gettimeofday () in
+  t.ballast <- List.filter (fun (expiry, _) -> expiry > now) t.ballast;
+  if t.config.max_heap_mw > 0.0 then begin
+    let words = float_of_int (Gc.quick_stat ()).Gc.heap_words in
+    if Telemetry.enabled () then Telemetry.Gauge.set g_heap_words words;
+    let budget = t.config.max_heap_mw *. 1e6 in
+    match t.pressure with
+    | Normal ->
+      if words > budget then begin
+        let registry = Dispatcher.registry t.dispatcher in
+        let entries = (Registry.stats registry).Registry.s_entries in
+        let evicted = Registry.trim registry ~keep:(entries / 2) in
+        Gc.full_major ();
+        t.pressure <- Trimmed;
+        Events.emit "server.memory_pressure"
+          [
+            ("action", Json.String "trim");
+            ("heap_words", Json.Float words);
+            ("budget_words", Json.Float budget);
+            ("evicted", Json.Int evicted);
+          ];
+        log t
+          (Json.Obj
+             [
+               ("event", Json.String "server.memory_pressure");
+               ("action", Json.String "trim");
+               ("evicted", Json.Int evicted);
+             ])
+      end
+    | Trimmed ->
+      if words > budget then begin
+        t.pressure <- Degraded;
+        if Telemetry.enabled () then Telemetry.Gauge.set g_degraded 1.0;
+        Events.emit "server.memory_pressure"
+          [
+            ("action", Json.String "degrade");
+            ("heap_words", Json.Float words);
+            ("budget_words", Json.Float budget);
+          ];
+        log t
+          (Json.Obj
+             [
+               ("event", Json.String "server.memory_pressure");
+               ("action", Json.String "degrade");
+             ])
+      end
+      else if words < 0.9 *. budget then t.pressure <- Normal
+    | Degraded ->
+      if words < 0.9 *. budget then begin
+        t.pressure <- Normal;
+        if Telemetry.enabled () then Telemetry.Gauge.set g_degraded 0.0;
+        Events.emit "server.memory_pressure"
+          [ ("action", Json.String "recover"); ("heap_words", Json.Float words) ];
+        log t
+          (Json.Obj
+             [
+               ("event", Json.String "server.memory_pressure");
+               ("action", Json.String "recover");
+             ])
+      end
+  end
+
+(* ---- warm-registry snapshots ---- *)
+
+let write_snapshot t ~reason =
+  match t.config.snapshot_path with
+  | None -> ()
+  | Some path -> (
+    t.last_snapshot <- Unix.gettimeofday ();
+    match Registry.snapshot (Dispatcher.registry t.dispatcher) ~path with
+    | entries ->
+      log t
+        (Json.Obj
+           [
+             ("event", Json.String "server.snapshot_written");
+             ("path", Json.String path);
+             ("entries", Json.Int entries);
+             ("reason", Json.String reason);
+           ])
+    | exception _ ->
+      (* an unwritable snapshot must never take the daemon down; the
+         next tick retries *)
+      log t
+        (Json.Obj
+           [
+             ("event", Json.String "server.snapshot_failed");
+             ("path", Json.String path);
+             ("reason", Json.String reason);
+           ]))
+
+let snapshot_tick t =
+  if
+    t.config.snapshot_path <> None
+    && t.config.snapshot_every_s > 0.0
+    && Unix.gettimeofday () -. t.last_snapshot >= t.config.snapshot_every_s
+  then write_snapshot t ~reason:"tick"
+
 (* ---- the loop ---- *)
 
 let accept_ready t =
   match Unix.accept ~cloexec:true t.listen_fd with
   | fd, _ ->
     let conn =
-      { fd; oc = Unix.out_channel_of_descr fd; pending = ""; oversized = false;
-        closed = false }
+      { fd; oc = Unix.out_channel_of_descr fd; pending = ""; closed = false }
     in
     t.conns <- conn :: t.conns
   | exception
@@ -328,30 +514,56 @@ let create config =
           (Unix.error_message e)));
   Unix.listen listen_fd 64;
   Unix.set_nonblock listen_fd;
-  {
-    config;
-    dispatcher =
-      Dispatcher.create ~registry_capacity:config.registry_capacity
-        ~parallel:config.parallel ();
-    listen_fd;
-    conns = [];
-    queue = Queue.create ();
-    stop = false;
-    started_at = Unix.gettimeofday ();
-    received = 0;
-    ok = 0;
-    errors = 0;
-    overloaded = 0;
-    deadlines = 0;
-  }
+  let t =
+    {
+      config;
+      dispatcher =
+        Dispatcher.create ~registry_capacity:config.registry_capacity
+          ~parallel:config.parallel ~generation:config.generation ();
+      listen_fd;
+      conns = [];
+      queue = Queue.create ();
+      stop = false;
+      started_at = Unix.gettimeofday ();
+      received = 0;
+      ok = 0;
+      errors = 0;
+      overloaded = 0;
+      deadlines = 0;
+      shed = 0;
+      pressure = Normal;
+      warm_restored = 0;
+      last_snapshot = Unix.gettimeofday ();
+      writes = 0;
+      reads = 0;
+      ballast = [];
+    }
+  in
+  (match config.snapshot_path with
+  | Some path when Sys.file_exists path ->
+    t.warm_restored <- Registry.restore (Dispatcher.registry t.dispatcher) ~path;
+    if t.warm_restored > 0 then
+      log t
+        (Json.Obj
+           [
+             ("event", Json.String "server.registry_restored");
+             ("path", Json.String path);
+             ("entries", Json.Int t.warm_restored);
+           ])
+  | _ -> ());
+  t
 
 let shutdown t =
   (* drain: answer everything already admitted, then hang up *)
   while not (Queue.is_empty t.queue) do
     process_one t
   done;
+  write_snapshot t ~reason:"drain";
   let stats = final_stats t in
   Events.emit "server.drained" [ ("requests", request_counters t) ];
+  (* push the tail of every --progress stream before the channels go
+     away: the drained event above must reach its subscribers *)
+  Events.flush_subscribers ();
   log t stats;
   List.iter (fun c -> try close_out_noerr c.oc with _ -> ()) t.conns;
   t.conns <- [];
@@ -376,6 +588,7 @@ let run ?(config = default_config) () =
          ("event", Json.String "server.listening");
          ("socket", Json.String config.socket);
          ("pid", Json.Int (Unix.getpid ()));
+         ("generation", Json.Int config.generation);
        ]);
   Fun.protect
     ~finally:(fun () ->
@@ -401,7 +614,9 @@ let run ?(config = default_config) () =
             t.conns;
           (* one request per iteration keeps accept/read latency
              bounded while a long flow computes *)
-          process_one t
+          process_one t;
+          check_memory t;
+          snapshot_tick t
         end
       done;
       shutdown t)

@@ -32,7 +32,10 @@ type config = {
       (** warm machines kept resident (also bounds the
           {!Scanpower.Flow.prepare_cached} memo) *)
   max_queue : int;  (** admission bound; beyond it → [overloaded] *)
-  max_line : int;  (** request-line cap in bytes *)
+  max_request_bytes : int;
+      (** request-frame cap in bytes; past it the request is answered
+          with [validation] and the connection is dropped, so a
+          newline-less stream cannot grow the buffer without bound *)
   default_deadline_s : float;
       (** applied to requests that carry none; [<= 0] = none *)
   parallel : Runner.strategy;
@@ -40,12 +43,27 @@ type config = {
           {!Dispatcher.create} *)
   log : out_channel option;
       (** operational NDJSON log (listening / drained lines) *)
+  snapshot_path : string option;
+      (** warm-registry snapshot file: restored at startup (corrupt or
+          missing → cold start), written atomically on the SIGTERM
+          drain and every [snapshot_every_s] *)
+  snapshot_every_s : float;  (** periodic snapshot interval; [<= 0] = off *)
+  max_heap_mw : float;
+      (** heap budget in mega-words for the memory-pressure watchdog;
+          [<= 0] = off. Over budget: trim the registry LRU and
+          compact; still over: answer [flow]/[atpg]/[sweep-point] with
+          [degraded]/9 while [health]/[stats]/[validate] keep flowing;
+          under 0.9× budget: recover. *)
+  generation : int;
+      (** supervisor restart generation, echoed in [health]/[stats]
+          and folded into the [Worker_kill] chaos roll key *)
 }
 
 val default_config : config
 (** {!Protocol.default_socket}, capacity 32, queue 64,
     {!Protocol.max_line_default}, no default deadline,
-    [parallel = Auto], no log. *)
+    [parallel = Auto], no log, no snapshot, no heap budget,
+    generation 0. *)
 
 val run : ?config:config -> unit -> Telemetry.Json.t
 (** Serve until SIGTERM/SIGINT, then drain and return the final stats

@@ -3,21 +3,38 @@ module E = Scanpower_errors
 module Flow = Scanpower.Flow
 module Sweep = Scanpower.Sweep
 
+(* Idempotency: replayed requests (same "idem" key) return the stored
+   Ok response instead of executing again. Bounded FIFO — dedup is a
+   correctness aid for reconnect windows measured in seconds, not a
+   durable result store. *)
+let idem_capacity = 1024
+
+type idem_entry = { stored : Json.t option; executions : int }
+
 type t = {
   registry : Registry.t;
   parallel : Runner.strategy;
+  generation : int;
   started_at : float;
+  idem_table : (string, idem_entry) Hashtbl.t;
+  idem_order : string Queue.t;
+  mutable idem_replays : int;
   mutable served : int;
   mutable forked : int;
   mutable domain_runs : int;
   mutable fork_fallbacks : int;
 }
 
-let create ?(registry_capacity = 32) ?(parallel = Runner.Auto) () =
+let create ?(registry_capacity = 32) ?(parallel = Runner.Auto)
+    ?(generation = 0) () =
   {
     registry = Registry.create ~capacity:registry_capacity ();
     parallel;
+    generation;
     started_at = Unix.gettimeofday ();
+    idem_table = Hashtbl.create 64;
+    idem_order = Queue.create ();
+    idem_replays = 0;
     served = 0;
     forked = 0;
     domain_runs = 0;
@@ -25,6 +42,17 @@ let create ?(registry_capacity = 32) ?(parallel = Runner.Auto) () =
   }
 
 let registry t = t.registry
+
+let generation t = t.generation
+
+let idem_record t key entry =
+  if not (Hashtbl.mem t.idem_table key) then begin
+    Queue.push key t.idem_order;
+    while Queue.length t.idem_order > idem_capacity do
+      Hashtbl.remove t.idem_table (Queue.pop t.idem_order)
+    done
+  end;
+  Hashtbl.replace t.idem_table key entry
 
 (* ---- circuit resolution ---- *)
 
@@ -182,6 +210,7 @@ let health_value t ~extra =
     ([
        ("status", Json.String "ok");
        ("pid", Json.Int (Unix.getpid ()));
+       ("generation", Json.Int t.generation);
        ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
        ("served", Json.Int t.served);
        ("registry_entries", Json.Int (Registry.stats t.registry).Registry.s_entries);
@@ -194,6 +223,13 @@ let stats_value t ~extra =
     ([
        ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
        ("served", Json.Int t.served);
+       ("generation", Json.Int t.generation);
+       ("idem",
+        Json.Obj
+          [
+            ("keys", Json.Int (Hashtbl.length t.idem_table));
+            ("replays", Json.Int t.idem_replays);
+          ]);
        ("parallel",
         Json.Obj
           [
@@ -361,26 +397,65 @@ let compute t ~extra (req : Protocol.request) =
   | Protocol.Health -> health_value t ~extra
   | Protocol.Stats -> stats_value t ~extra
 
-let handle t ?(extra = []) ?deadline_left (req : Protocol.request) =
+(* [idem_executions] rides inside the response value so a client (and
+   the chaos test) can assert zero duplicate execution after a replay:
+   the stored response is returned verbatim, counter and all. *)
+let with_executions value n =
+  match value with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("idem_executions", Json.Int n) ])
+  | other -> other
+
+let execute t ~extra ~deadline_left (req : Protocol.request) =
   let circuit_label =
     match req.Protocol.circuit with
     | Some (Protocol.Named n) -> Some n
     | Some (Protocol.Inline { name; _ }) -> Some name
     | None -> None
   in
+  match choose_execution t ~deadline_left req with
+  | Exec_forked ->
+    t.forked <- t.forked + 1;
+    run_forked ~id:req.Protocol.id ~timeout_s:deadline_left (fun () ->
+        compute t ~extra req)
+  | Exec_domain ->
+    t.domain_runs <- t.domain_runs + 1;
+    run_in_domain (fun () -> compute t ~extra req)
+  | Exec_inline -> (
+    try Ok (compute t ~extra req)
+    with exn ->
+      Error (E.of_exn ~stage:"server.dispatch" ?circuit:circuit_label exn))
+
+let handle t ?(extra = []) ?deadline_left (req : Protocol.request) =
+  (* Mid-request SIGKILL chaos: the roll key includes the supervisor
+     generation, so a spec that kills generation N lets the restarted
+     generation N+1 serve the replay (Fault_inject.fires is pure in
+     the key, so tests pick such seeds deterministically). *)
+  if
+    Runner.Fault_inject.fires Runner.Fault_inject.Worker_kill
+      ~key:(Printf.sprintf "%s#gen%d" req.Protocol.id t.generation)
+  then Unix.kill (Unix.getpid ()) Sys.sigkill;
   let result =
-    match choose_execution t ~deadline_left req with
-    | Exec_forked ->
-      t.forked <- t.forked + 1;
-      run_forked ~id:req.Protocol.id ~timeout_s:deadline_left (fun () ->
-          compute t ~extra req)
-    | Exec_domain ->
-      t.domain_runs <- t.domain_runs + 1;
-      run_in_domain (fun () -> compute t ~extra req)
-    | Exec_inline -> (
-      try Ok (compute t ~extra req)
-      with exn ->
-        Error (E.of_exn ~stage:"server.dispatch" ?circuit:circuit_label exn))
+    match req.Protocol.idem with
+    | None -> execute t ~extra ~deadline_left req
+    | Some key -> (
+      match Hashtbl.find_opt t.idem_table key with
+      | Some { stored = Some value; _ } ->
+        t.idem_replays <- t.idem_replays + 1;
+        Ok value
+      | prev ->
+        let executions =
+          (match prev with Some e -> e.executions | None -> 0) + 1
+        in
+        (match execute t ~extra ~deadline_left req with
+        | Ok value ->
+          let value = with_executions value executions in
+          idem_record t key { stored = Some value; executions };
+          Ok value
+        | Error _ as err ->
+          (* errors are not stored: a replay after a failure should
+             re-execute, and the counter keeps the history honest *)
+          idem_record t key { stored = None; executions };
+          err))
   in
   t.served <- t.served + 1;
   result

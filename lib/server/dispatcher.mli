@@ -12,7 +12,12 @@
 
 type t
 
-val create : ?registry_capacity:int -> ?parallel:Runner.strategy -> unit -> t
+val create :
+  ?registry_capacity:int ->
+  ?parallel:Runner.strategy ->
+  ?generation:int ->
+  unit ->
+  t
 (** Fresh dispatcher with an empty registry (default capacity 32).
 
     [parallel] (default [Auto]) decides how a {!Protocol.Fork_isolation}
@@ -29,9 +34,16 @@ val create : ?registry_capacity:int -> ?parallel:Runner.strategy -> unit -> t
     been spawned, so from then on requests that would have forked are
     re-routed to a domain instead (counted as ["fork_fallbacks"]).
     The choice tally is exposed under ["parallel"] in the [stats]
-    value. *)
+    value.
+
+    [generation] (default 0) is the supervisor restart generation:
+    echoed in [health]/[stats] values and folded into the
+    [Worker_kill] fault-injection roll key, so a chaos spec that kills
+    generation N deterministically spares the restarted N+1. *)
 
 val registry : t -> Registry.t
+
+val generation : t -> int
 
 val handle :
   t ->
@@ -44,4 +56,10 @@ val handle :
     counters). [deadline_left] is the remaining per-request budget —
     enforced as a hard worker timeout under {!Protocol.Fork_isolation},
     advisory otherwise. Never raises: every failure, including a
-    crashed isolated worker, comes back as a structured error. *)
+    crashed isolated worker, comes back as a structured error.
+
+    Requests carrying an idempotency key ([idem]) are deduped: the
+    first Ok response is stored (bounded FIFO, 1024 keys) and returned
+    verbatim — [idem_executions] field included — to any replay, so a
+    client retrying after a torn connection never double-executes.
+    Errors are never stored; a replay after a failure re-executes. *)

@@ -37,6 +37,7 @@ type request = {
   deadline_s : float option;
   stream : bool;
   isolation : isolation;
+  idem : string option;
 }
 
 let needs_circuit = function
@@ -158,7 +159,13 @@ let parse_request json =
         Error
           (usage ~token:i "field \"isolation\" must be \"inline\" or \"fork\"")
     in
-    Ok { id; kind; circuit; seed; engine; deadline_s; stream; isolation }
+    let* idem = opt_string json "idem" in
+    let* () =
+      match idem with
+      | Some "" -> Error (usage "field \"idem\" must be non-empty")
+      | _ -> Ok ()
+    in
+    Ok { id; kind; circuit; seed; engine; deadline_s; stream; isolation; idem }
   | _ -> Error (usage "request must be a JSON object")
 
 (* ---- response lines ---- *)
@@ -211,14 +218,29 @@ let request_to_json r =
                  ::
                  (match r.isolation with
                  | Inline_isolation -> []
-                 | Fork_isolation -> [ ("isolation", Json.String "fork") ])))))
+                 | Fork_isolation -> [ ("isolation", Json.String "fork") ])
+                 @ opt "idem"
+                     (Option.map (fun i -> Json.String i) r.idem)
+                     []))))
 
 let make ?circuit ?bench ?(name = "inline") ?(seed = 42) ?engine ?deadline_s
-    ?(stream = false) ?(isolation = Inline_isolation) ~id kind =
+    ?(stream = false) ?(isolation = Inline_isolation) ?idem ~id kind =
   let circuit =
     match (bench, circuit) with
     | Some bench, _ -> Some (Inline { name; bench })
     | None, Some c -> Some (Named c)
     | None, None -> None
   in
-  { id; kind; circuit; seed; engine; deadline_s; stream; isolation }
+  { id; kind; circuit; seed; engine; deadline_s; stream; isolation; idem }
+
+(* ---- raw-line entry point (the fuzzer's surface) ---- *)
+
+(* Must never raise, whatever the bytes: the daemon calls this on
+   every frame an untrusted client sends. *)
+let request_of_line line =
+  match Json.of_string line with
+  | Error msg ->
+    Error
+      (E.make ~code:E.Parse ~stage:"server.protocol"
+         (Printf.sprintf "request is not valid JSON: %s" msg))
+  | Ok json -> parse_request json

@@ -47,6 +47,10 @@ type request = {
       (** budget from admission; expiry yields code [deadline] *)
   stream : bool;  (** forward telemetry-bus events as ["event"] lines *)
   isolation : isolation;
+  idem : string option;
+      (** idempotency key: the dispatcher caches the Ok response under
+          this key, so a client replaying after a torn connection gets
+          the stored result instead of a second execution *)
 }
 
 val needs_circuit : kind -> bool
@@ -60,6 +64,11 @@ val parse_request :
   Telemetry.Json.t -> (request, Scanpower_errors.t) result
 (** Strict field validation; every failure is code [Usage] with stage
     ["server.protocol"]. *)
+
+val request_of_line : string -> (request, Scanpower_errors.t) result
+(** Parse one raw frame: JSON decode ([Parse] on failure) then
+    {!parse_request}. Total — never raises, whatever the bytes; this
+    is the surface the protocol fuzzer hammers. *)
 
 val result_line : id:string -> kind:kind -> Telemetry.Json.t -> Telemetry.Json.t
 val error_line : ?id:string -> Scanpower_errors.t -> Telemetry.Json.t
@@ -80,6 +89,7 @@ val make :
   ?deadline_s:float ->
   ?stream:bool ->
   ?isolation:isolation ->
+  ?idem:string ->
   id:string ->
   kind ->
   request

@@ -89,6 +89,89 @@ let find_or_prepare t ~key ~name build =
     publish t;
     (prepared, false)
 
+let trim t ~keep =
+  let keep = max 0 keep in
+  let evicted = ref 0 in
+  while Hashtbl.length t.table > keep do
+    evict_lru t;
+    incr evicted
+  done;
+  if !evicted > 0 then publish t;
+  !evicted
+
+(* Snapshot format: a text header (magic line, hex digest of the
+   payload, payload byte length) followed by the raw Marshal blob of
+   the entry list. The digest makes a truncated or clobbered file a
+   detected cold start instead of a Marshal segfault; the magic pins
+   the format version so an old snapshot read by a new binary is
+   likewise just cold. [Flow.prepared] is pure data (no closures), so
+   Marshal round-trips it. *)
+let snapshot_magic = "scanpower-registry-snapshot/1"
+
+let snapshot t ~path =
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+    |> List.sort (fun a b -> compare a.last_used b.last_used)
+    |> List.map (fun e -> (e.key, e.circuit_name, e.prepared, e.entry_hits))
+  in
+  let payload =
+    Marshal.to_string
+      (entries
+        : (string * string * Scanpower.Flow.prepared * int) list)
+      []
+  in
+  let digest = Digest.to_hex (Digest.string payload) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n%s\n%d\n" snapshot_magic digest
+        (String.length payload);
+      output_string oc payload;
+      flush oc);
+  Unix.rename tmp path;
+  List.length entries
+
+let restore t ~path =
+  (* Never raises: any defect — missing file, bad magic, short read,
+     digest mismatch, malformed Marshal — is a silent cold start. *)
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        if input_line ic <> snapshot_magic then 0
+        else
+          let digest = input_line ic in
+          let len = int_of_string (input_line ic) in
+          if len < 0 || len > 1_000_000_000 then 0
+          else begin
+            let payload = really_input_string ic len in
+            if Digest.to_hex (Digest.string payload) <> digest then 0
+            else begin
+              let entries =
+                (Marshal.from_string payload 0
+                  : (string * string * Scanpower.Flow.prepared * int) list)
+              in
+              let restored = ref 0 in
+              (* oldest-first insertion keeps the snapshot's LRU order;
+                 overflow past capacity evicts the stalest as usual *)
+              List.iter
+                (fun (key, circuit_name, prepared, entry_hits) ->
+                  t.tick <- t.tick + 1;
+                  Hashtbl.replace t.table key
+                    { key; circuit_name; prepared; entry_hits;
+                      last_used = t.tick };
+                  incr restored)
+                entries;
+              ignore (trim t ~keep:t.capacity);
+              publish t;
+              !restored
+            end
+          end)
+  with _ -> 0
+
 let stats t =
   {
     s_capacity = t.capacity;

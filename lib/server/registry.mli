@@ -37,6 +37,24 @@ val find_or_prepare :
     beyond capacity and returns [..., false]. A [build] that raises
     (e.g. a validation error) inserts nothing. *)
 
+val trim : t -> keep:int -> int
+(** Evict least-recently-used entries until at most [keep] remain;
+    returns how many were evicted. The memory-pressure watchdog's
+    first relief valve. *)
+
+val snapshot : t -> path:string -> int
+(** Atomically write every resident entry (Marshal blob guarded by a
+    magic line and payload digest) to [path] via a temp-file rename,
+    so a reader never sees a torn snapshot. Returns the entry count.
+    Raises on I/O errors (unwritable directory). *)
+
+val restore : t -> path:string -> int
+(** Load a {!snapshot} back, preserving LRU order; returns how many
+    entries were restored. Never raises: a missing, truncated,
+    corrupted or version-mismatched file is a silent cold start
+    (returns 0). Restored entries count as warm — a later
+    [find_or_prepare] on a restored key is a hit. *)
+
 val stats : t -> stats
 
 val stats_json : t -> Telemetry.Json.t

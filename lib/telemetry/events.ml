@@ -8,13 +8,15 @@ type event = { ts : float; name : string; fields : (string * Json.t) list }
 
 type subscription = int
 
-let next_id = ref 0
-let subscribers : (int * (event -> unit)) list ref = ref []
+type sub = { fn : event -> unit; flush : (unit -> unit) option }
 
-let subscribe fn =
+let next_id = ref 0
+let subscribers : (int * sub) list ref = ref []
+
+let subscribe ?flush fn =
   incr next_id;
   let id = !next_id in
-  subscribers := !subscribers @ [ (id, fn) ];
+  subscribers := !subscribers @ [ (id, { fn; flush }) ];
   id
 
 let unsubscribe id =
@@ -29,7 +31,17 @@ let emit name fields =
     let ev = { ts = Unix.gettimeofday (); name; fields } in
     (* a broken subscriber (closed pipe, full disk) must not abort the
        run it is observing *)
-    List.iter (fun (_, fn) -> try fn ev with _ -> ()) subs
+    List.iter (fun (_, s) -> try s.fn ev with _ -> ()) subs
+
+(* Called on orderly shutdown paths (SIGTERM drain, supervisor child
+   exit) so buffered sinks push their tail before the process goes
+   away; a sink that fails to flush is as harmless as one that fails
+   to write. *)
+let flush_subscribers () =
+  List.iter
+    (fun (_, s) ->
+      match s.flush with Some f -> ( try f () with _ -> ()) | None -> ())
+    !subscribers
 
 let to_json ev =
   Json.Obj

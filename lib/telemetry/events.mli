@@ -15,12 +15,20 @@ type event = {
 
 type subscription
 
-val subscribe : (event -> unit) -> subscription
+val subscribe : ?flush:(unit -> unit) -> (event -> unit) -> subscription
 (** Callbacks run synchronously on the emitting thread, in
-    subscription order. *)
+    subscription order. [flush], when given, is invoked by
+    {!flush_subscribers} on orderly shutdown so a buffered sink can
+    push its tail before the process exits. *)
 
 val unsubscribe : subscription -> unit
 val has_subscribers : unit -> bool
+
+val flush_subscribers : unit -> unit
+(** Run every subscriber's [flush] callback (exceptions swallowed,
+    like event delivery). Shutdown paths — the daemon's SIGTERM drain,
+    a supervised child about to [_exit] — call this so the final
+    progress events are never lost from a [--progress] stream. *)
 
 val emit : string -> (string * Json.t) list -> unit
 

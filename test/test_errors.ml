@@ -6,7 +6,7 @@ module Json = Telemetry.Json
 
 let all_codes =
   [ E.Usage; E.Parse; E.Validation; E.Io; E.Runtime; E.Partial; E.Regression;
-    E.Overloaded; E.Deadline ]
+    E.Overloaded; E.Deadline; E.Degraded ]
 
 let check_exit_codes () =
   Alcotest.(check int) "usage" 2 (E.exit_code E.Usage);
@@ -18,13 +18,14 @@ let check_exit_codes () =
   Alcotest.(check int) "regression" 6 (E.exit_code E.Regression);
   Alcotest.(check int) "overloaded" 7 (E.exit_code E.Overloaded);
   Alcotest.(check int) "deadline" 8 (E.exit_code E.Deadline);
+  Alcotest.(check int) "degraded" 9 (E.exit_code E.Degraded);
   List.iter
     (fun c ->
       Alcotest.(check bool)
         (E.code_to_string c ^ " reserves 0, 1 and cmdliner's 124")
         true
         (let n = E.exit_code c in
-         n >= 2 && n <= 8))
+         n >= 2 && n <= 9))
     all_codes
 
 let check_code_of_string () =
@@ -123,6 +124,13 @@ let check_of_json_inverse () =
   (match E.of_json (E.to_json minimal) with
   | Ok t' -> Alcotest.(check bool) "minimal error round-trips" true (minimal = t')
   | Error m -> Alcotest.fail m);
+  (* the retryable shed-under-pressure code crosses the wire intact *)
+  let degraded = E.make ~code:E.Degraded ~stage:"server.admission" "shed" in
+  (match E.of_json (E.to_json degraded) with
+  | Ok t' ->
+    Alcotest.(check bool) "degraded round-trips" true (degraded = t');
+    Alcotest.(check int) "degraded exits 9" 9 (E.exit_code t'.E.code)
+  | Error m -> Alcotest.fail m);
   (* strictness: unknown codes and missing fields must not decode *)
   let reject label j =
     match E.of_json j with
@@ -146,7 +154,8 @@ let check_of_json_inverse () =
 let error_gen =
   let open QCheck.Gen in
   let code = oneofl [ E.Usage; E.Parse; E.Validation; E.Io; E.Runtime;
-                      E.Partial; E.Regression; E.Overloaded; E.Deadline ] in
+                      E.Partial; E.Regression; E.Overloaded; E.Deadline;
+                      E.Degraded ] in
   let short = string_size ~gen:printable (int_range 0 12) in
   let opt g = oneof [ return None; map Option.some g ] in
   let loc =

@@ -36,9 +36,11 @@ let () =
       ("validate", Test_validate.suite);
       ("server", Test_server.suite);
       ("chaos", Test_chaos.suite);
+      ("resilience", Test_resilience.suite);
       (* last on purpose: the par suite spawns domains, and OCaml 5
          permanently refuses Unix.fork in a process once any domain
          has been created — every fork-based suite above (runner,
-         server, chaos) must run before the first Domain.spawn. *)
+         server, chaos, resilience) must run before the first
+         Domain.spawn. *)
       ("par", Test_par.suite);
     ]

@@ -425,6 +425,7 @@ let test_dispatcher_fork_fallback () =
       deadline_s = None;
       stream = false;
       isolation = P.Fork_isolation;
+      idem = None;
     }
   in
   (match D.handle t req with

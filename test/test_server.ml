@@ -264,7 +264,7 @@ let check_golden_bit_identity () =
 
 let check_protocol_robustness () =
   with_daemon
-    ~configure:(fun c -> { c with D.max_line = 4096 })
+    ~configure:(fun c -> { c with D.max_request_bytes = 4096 })
     (fun socket ->
       with_client socket (fun client ->
           (* malformed JSON: structured parse error, connection stays up *)
@@ -287,8 +287,9 @@ let check_protocol_robustness () =
           in
           Alcotest.(check bool) "names the stage" true
             (bad.E.stage = "bench_parser");
-          (* oversized line: rejected with the cap in the message, and
-             the connection keeps working afterwards *)
+          (* oversized line: rejected with a validation error naming
+             the cap, and the connection is dropped — an unbounded
+             buffer is a memory hole, not a recoverable frame *)
           let big =
             Printf.sprintf {|{"id":"big","kind":"flow","bench":"%s"}|}
               (String.make 8000 '#')
@@ -296,11 +297,18 @@ let check_protocol_robustness () =
           C.send_raw client big;
           (match C.read_response client ~id:"big" with
           | Error e ->
-            Alcotest.(check string) "oversized is usage" "usage"
+            Alcotest.(check string) "oversized is validation" "validation"
               (E.code_to_string e.E.code)
           | Ok _ -> Alcotest.fail "oversized accepted");
+          (match C.read_response client ~id:"never" with
+          | Error e ->
+            Alcotest.(check string) "oversized conn dropped" "io"
+              (E.code_to_string e.E.code)
+          | Ok _ -> Alcotest.fail "oversized connection kept serving"));
+      (* the daemon itself keeps serving fresh connections *)
+      with_client socket (fun client ->
           let v =
-            expect_value "conn survives it all"
+            expect_value "daemon survives it all"
               (C.rpc client (P.make ~id:"h" P.Health))
           in
           Alcotest.(check bool) "daemon healthy" true
